@@ -1,0 +1,520 @@
+(* Benchmark harness: regenerates every table and figure of
+   Kukimoto/Brayton/Sawkar, "Delay-Optimal Technology Mapping by DAG
+   Covering" (DAC 1998), on the synthetic stand-ins documented in
+   DESIGN.md, plus the ablations DESIGN.md calls out. One Bechamel
+   Test.make per table at the end measures mapper runtime.
+
+   Run with:  dune exec bench/main.exe            (full harness)
+              dune exec bench/main.exe -- quick   (skip Bechamel)   *)
+
+open Dagmap_logic
+open Dagmap_genlib
+open Dagmap_subject
+open Dagmap_core
+open Dagmap_sim
+open Dagmap_circuits
+
+let hr title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Tables 1-3: tree vs DAG mapping under the three libraries          *)
+(* ------------------------------------------------------------------ *)
+
+type row = {
+  circuit : string;
+  tree_delay : float;
+  dag_delay : float;
+  tree_area : float;
+  dag_area : float;
+  tree_cpu : float;
+  dag_cpu : float;
+  dag_dup : int;
+  verified : bool;
+}
+
+let map_row db g circuit =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let tree, tree_cpu = time (fun () -> Mapper.map Mapper.Tree db g) in
+  let dag, dag_cpu = time (fun () -> Mapper.map Mapper.Dag db g) in
+  let verified =
+    let n_inputs = List.length (Subject.pi_ids g) in
+    let ok r =
+      Equiv.is_equivalent
+        (Equiv.compare_sims ~rounds:4 ~n_inputs
+           (fun words -> Simulate.subject g words)
+           (fun words -> Simulate.netlist r.Mapper.netlist words))
+    in
+    ok tree && ok dag
+  in
+  { circuit;
+    tree_delay = Netlist.delay tree.Mapper.netlist;
+    dag_delay = Netlist.delay dag.Mapper.netlist;
+    tree_area = Netlist.area tree.Mapper.netlist;
+    dag_area = Netlist.area dag.Mapper.netlist;
+    tree_cpu;
+    dag_cpu;
+    dag_dup = Netlist.duplication dag.Mapper.netlist;
+    verified }
+
+let print_table rows =
+  Printf.printf "%-8s | %8s %8s %6s | %9s %9s | %7s %7s | %5s %s\n" "circuit"
+    "tree-d" "DAG-d" "ratio" "tree-area" "DAG-area" "tree-s" "DAG-s" "dup"
+    "eq";
+  Printf.printf "%s\n" (String.make 96 '-');
+  List.iter
+    (fun r ->
+      Printf.printf
+        "%-8s | %8.2f %8.2f %5.2fx | %9.0f %9.0f | %7.2f %7.2f | %5d %s\n"
+        r.circuit r.tree_delay r.dag_delay
+        (r.tree_delay /. r.dag_delay)
+        r.tree_area r.dag_area r.tree_cpu r.dag_cpu r.dag_dup
+        (if r.verified then "ok" else "FAIL"))
+    rows;
+  let geo =
+    let product =
+      List.fold_left (fun acc r -> acc *. (r.tree_delay /. r.dag_delay)) 1.0 rows
+    in
+    product ** (1.0 /. float_of_int (List.length rows))
+  in
+  Printf.printf "geometric-mean delay ratio (tree/DAG): %.2fx\n" geo
+
+let subjects = lazy (List.map (fun (n, net) -> (n, Subject.of_network net))
+                       (Iscas_like.table_circuits ()))
+
+let run_table number lib_name paper_note =
+  let lib = Option.get (Libraries.by_name lib_name) in
+  let db = Matchdb.prepare lib in
+  hr (Printf.sprintf "Table %d: tree vs DAG mapping, %s-like library (%d gates)"
+        number lib_name (List.length lib.Libraries.gates));
+  Printf.printf "%s\n\n" paper_note;
+  let rows =
+    List.map (fun (name, g) -> map_row db g name) (Lazy.force subjects)
+  in
+  print_table rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let gate_of_expr name ~delay n expr =
+  Gate.make ~name ~area:(float_of_int n)
+    ~pins:(Array.init n (fun i -> Gate.simple_pin ~delay (Printf.sprintf "p%d" i)))
+    expr
+
+let run_figure1 () =
+  hr "Figure 1: standard match vs extended match";
+  Printf.printf
+    "Paper: the AND pattern matches the subject only as an extended match,\n\
+     by mapping pattern nodes m and m' onto the same subject node n.\n\n";
+  let bld = Subject.Builder.create () in
+  let a = Subject.Builder.pi bld "a" in
+  let b = Subject.Builder.pi bld "b" in
+  let n = Subject.Builder.nand bld a b in
+  let nn = Subject.Builder.raw_nand bld n n in
+  let top = Subject.Builder.inv bld nn in
+  Subject.Builder.output bld "f" top;
+  let g = Subject.Builder.finish bld in
+  let and2 = gate_of_expr "and2" ~delay:1.3 2 Bexpr.(and2 (var 0) (var 1)) in
+  let p =
+    match Pattern.of_gate ~max_shapes:1 and2 with [ p ] -> p | _ -> assert false
+  in
+  let fanouts = Subject.fanout_counts g in
+  List.iter
+    (fun cls ->
+      Printf.printf "  %-8s matches of AND2 at the root: %d\n"
+        (Matcher.class_name cls)
+        (List.length (Matcher.matches cls g ~fanouts p top)))
+    [ Matcher.Standard; Matcher.Exact; Matcher.Extended ];
+  Printf.printf "  reproduced: standard = 0, extended = 1  %s\n"
+    (if
+       Matcher.matches Matcher.Standard g ~fanouts p top = []
+       && List.length (Matcher.matches Matcher.Extended g ~fanouts p top) = 1
+     then "[ok]"
+     else "[MISMATCH]")
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_figure2 () =
+  hr "Figure 2: duplication of subject-graph nodes in DAG mapping";
+  Printf.printf
+    "Paper: tree mapping cannot use the pattern (no exact match); DAG\n\
+     mapping uses it on both outputs, duplicating the shared middle cone\n\
+     and moving the multiple-fanout point to the primary inputs.\n\n";
+  let bld = Subject.Builder.create () in
+  let a = Subject.Builder.pi bld "a" in
+  let b = Subject.Builder.pi bld "b" in
+  let c = Subject.Builder.pi bld "c" in
+  let d = Subject.Builder.pi bld "d" in
+  let mid = Subject.Builder.nand bld b c in
+  let out1 = Subject.Builder.nand bld a mid in
+  let out2 = Subject.Builder.nand bld mid d in
+  Subject.Builder.output bld "o1" out1;
+  Subject.Builder.output bld "o2" out2;
+  let g = Subject.Builder.finish bld in
+  let big =
+    gate_of_expr "big" ~delay:1.2 3
+      Bexpr.(not_ (and2 (var 0) (not_ (and2 (var 1) (var 2)))))
+  in
+  let pbig =
+    match Pattern.of_gate ~max_shapes:1 big with [ p ] -> p | _ -> assert false
+  in
+  let fanouts = Subject.fanout_counts g in
+  Printf.printf "  exact matches at out1/out2:    %d / %d\n"
+    (List.length (Matcher.matches Matcher.Exact g ~fanouts pbig out1))
+    (List.length (Matcher.matches Matcher.Exact g ~fanouts pbig out2));
+  Printf.printf "  standard matches at out1/out2: %d / %d\n"
+    (List.length (Matcher.matches Matcher.Standard g ~fanouts pbig out1))
+    (List.length (Matcher.matches Matcher.Standard g ~fanouts pbig out2));
+  let inv = gate_of_expr "inv" ~delay:0.5 1 Bexpr.(not_ (var 0)) in
+  let nand2 =
+    gate_of_expr "nand2" ~delay:1.0 2 Bexpr.(not_ (and2 (var 0) (var 1)))
+  in
+  let lib = Libraries.make "fig2" [ inv; nand2; big ] in
+  let db = Matchdb.prepare lib in
+  let tree = Mapper.map Mapper.Tree db g in
+  let dag = Mapper.map Mapper.Dag db g in
+  Printf.printf "  tree mapping: delay=%.2f gates=%d duplication=%d\n"
+    (Netlist.delay tree.Mapper.netlist)
+    (Netlist.num_gates tree.Mapper.netlist)
+    (Netlist.duplication tree.Mapper.netlist);
+  Printf.printf "  DAG mapping:  delay=%.2f gates=%d duplication=%d\n"
+    (Netlist.delay dag.Mapper.netlist)
+    (Netlist.num_gates dag.Mapper.netlist)
+    (Netlist.duplication dag.Mapper.netlist);
+  Printf.printf "  reproduced: DAG uses the big gate twice %s\n"
+    (if
+       Netlist.num_gates dag.Mapper.netlist = 2
+       && Netlist.duplication dag.Mapper.netlist = 1
+       && Netlist.delay dag.Mapper.netlist < Netlist.delay tree.Mapper.netlist
+     then "[ok]"
+     else "[MISMATCH]")
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md section 6)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_ablation_match_classes () =
+  hr "Ablation: standard vs extended matches (paper footnote 3)";
+  Printf.printf
+    "Paper: \"we have not been able to see any major difference in mapping\n\
+     quality between the use of standard matches and extended matches.\"\n\n";
+  let lib = Option.get (Libraries.by_name "lib2") in
+  let db = Matchdb.prepare lib in
+  Printf.printf "%-8s | %10s | %10s | %s\n" "circuit" "standard" "extended"
+    "difference";
+  List.iter
+    (fun (name, g) ->
+      let ds = Netlist.delay (Mapper.map Mapper.Dag db g).Mapper.netlist in
+      let de =
+        Netlist.delay (Mapper.map Mapper.Dag_extended db g).Mapper.netlist
+      in
+      Printf.printf "%-8s | %10.2f | %10.2f | %+.2f\n" name ds de (de -. ds))
+    (Lazy.force subjects)
+
+let run_ablation_shapes () =
+  hr "Ablation: pattern-shape variants per gate (expanded pattern graphs)";
+  Printf.printf
+    "The matcher only finds matches whose tree shape exists among the\n\
+     generated patterns (Rudell footnote 2); capping decomposition shapes\n\
+     trades delay for matching time. Complex gates (44-3) feel it most.\n\n";
+  let gates = (Option.get (Libraries.by_name "44-3")).Libraries.gates in
+  let db1 = Matchdb.prepare (Libraries.make ~max_shapes:1 "44-3v1" gates) in
+  let db6 = Matchdb.prepare (Libraries.make ~max_shapes:6 "44-3v6" gates) in
+  Printf.printf "%-8s | %14s | %14s\n" "circuit" "1 shape/gate"
+    "6 shapes/gate";
+  List.iter
+    (fun (name, g) ->
+      let delay db =
+        Netlist.delay (Mapper.map Mapper.Dag db g).Mapper.netlist
+      in
+      Printf.printf "%-8s | %14.2f | %14.2f\n" name (delay db1) (delay db6))
+    [ List.nth (Lazy.force subjects) 0 (* C2670 *);
+      List.nth (Lazy.force subjects) 3 (* C6288 *) ]
+
+let run_ablation_area_recovery () =
+  hr "Ablation: slack-driven area recovery after DAG mapping (paper §6)";
+  Printf.printf
+    "Paper: \"by constructing slower but smaller mappings for non-critical\n\
+     subnetworks we can have better control over area increase.\"\n\n";
+  let lib = Option.get (Libraries.by_name "lib2") in
+  let db = Matchdb.prepare lib in
+  Printf.printf "%-8s | %9s -> %9s | %6s | %s\n" "circuit" "DAG area"
+    "recovered" "saved" "delay preserved";
+  List.iter
+    (fun (name, g) ->
+      let r = Mapper.map Mapper.Dag db g in
+      let recovered = Area_recovery.recover db Mapper.Dag g r in
+      let a0 = Netlist.area r.Mapper.netlist in
+      let a1 = Netlist.area recovered in
+      Printf.printf "%-8s | %9.0f -> %9.0f | %5.1f%% | %b\n" name a0 a1
+        (100.0 *. (a0 -. a1) /. a0)
+        (Float.abs (Netlist.delay recovered -. Netlist.delay r.Mapper.netlist)
+        < 1e-6))
+    (Lazy.force subjects)
+
+let run_engine_comparison () =
+  hr "Beyond the paper: structural DAG covering vs cut-based Boolean matching";
+  Printf.printf
+    "The paper's mapper matches pattern graphs structurally; modern mappers\n\
+     (ABC) enumerate priority cuts and match functions. Boolean matching is\n\
+     insensitive to decomposition shape but bounded in cut width (<= 6 here,\n\
+     so 16-input gates are out of reach) and prunes its cut space.\n\n";
+  Printf.printf "%-8s %-6s | %9s | %9s | %9s %9s\n" "circuit" "lib"
+    "struct-d" "cut-d" "struct-s" "cut-s";
+  List.iter
+    (fun lib_name ->
+      let lib = Option.get (Libraries.by_name lib_name) in
+      let pdb = Matchdb.prepare lib in
+      let bdb = Dagmap_cutmap.Boolean_match.prepare lib in
+      List.iter
+        (fun (name, g) ->
+          let t0 = Unix.gettimeofday () in
+          let rp = Mapper.map Mapper.Dag pdb g in
+          let t1 = Unix.gettimeofday () in
+          let rc = Dagmap_cutmap.Cut_mapper.map bdb g in
+          let t2 = Unix.gettimeofday () in
+          Printf.printf "%-8s %-6s | %9.2f | %9.2f | %8.2fs %8.2fs\n" name
+            lib_name
+            (Netlist.delay rp.Mapper.netlist)
+            (Netlist.delay rc.Dagmap_cutmap.Cut_mapper.netlist)
+            (t1 -. t0) (t2 -. t1))
+        [ List.nth (Lazy.force subjects) 0; List.nth (Lazy.force subjects) 3 ])
+    [ "lib2"; "44-1"; "44-3" ]
+
+let run_ablation_cut_budget () =
+  hr "Ablation: cut budget (priority cuts per node) vs mapping quality";
+  Printf.printf
+    "The cut-based engine converges to the structural engine's quality as\n\
+     its per-node cut budget grows (C6288-like, 44-1 library).\n\n";
+  let g = snd (List.nth (Lazy.force subjects) 3) in
+  let lib = Option.get (Libraries.by_name "44-1") in
+  let pdb = Matchdb.prepare lib in
+  let bdb = Dagmap_cutmap.Boolean_match.prepare lib in
+  let reference = Netlist.delay (Mapper.map Mapper.Dag pdb g).Mapper.netlist in
+  Printf.printf "  structural reference: %.2f\n" reference;
+  List.iter
+    (fun priority ->
+      let t0 = Unix.gettimeofday () in
+      let r = Dagmap_cutmap.Cut_mapper.map ~priority bdb g in
+      Printf.printf "  priority=%3d: delay=%7.2f  (%.2fs)\n" priority
+        (Netlist.delay r.Dagmap_cutmap.Cut_mapper.netlist)
+        (Unix.gettimeofday () -. t0))
+    [ 4; 12; 25; 50; 100 ]
+
+let run_delay_model_validation () =
+  hr "Delay-model validation (paper §5): sizing after load-independent mapping";
+  Printf.printf
+    "The paper justifies mapping with intrinsic delays by sizing gates\n\
+     afterwards so each gate's real (loaded) delay approaches the delay the\n\
+     mapper assumed. Columns: the mapper's objective, the loaded delay at\n\
+     unit size, after continuous sizing (tolerance 15%%), and the area cost.\n\n";
+  let lib = Option.get (Libraries.by_name "lib2") in
+  let db = Matchdb.prepare lib in
+  Printf.printf "%-8s | %9s | %10s | %9s | %8s\n" "circuit" "intrinsic"
+    "loaded(x1)" "sized" "area x";
+  List.iter
+    (fun (name, g) ->
+      let nl = (Mapper.map Mapper.Dag db g).Mapper.netlist in
+      let sized = Sizing.size_to_target nl in
+      Printf.printf "%-8s | %9.2f | %10.2f | %9.2f | %8.2f\n" name
+        (Netlist.delay nl) (Sizing.loaded_delay nl)
+        (Sizing.loaded_delay ~sizes:sized.Sizing.sizes nl)
+        (sized.Sizing.sized_area /. Netlist.area nl))
+    (Lazy.force subjects)
+
+let run_decomposition_sensitivity () =
+  hr "Ablation: initial decomposition choice (paper §4, Lehman et al.)";
+  Printf.printf
+    "\"Since a single subject graph is chosen among a huge number of\n\
+     different decompositions ... it is likely that many potentially good\n\
+     mappings are simply not explored due to this initial choice.\"\n\
+     DAG-mapped delay under three re-associations of the n-ary chains in\n\
+     the node functions (44-3 library). Wide-node circuits (decoders,\n\
+     lookahead carries) are sensitive; circuits made of 2-3 input nodes\n\
+     are not:\n\n";
+  let lib = Option.get (Libraries.by_name "44-3") in
+  let db = Matchdb.prepare lib in
+  Printf.printf "%-8s | %9s | %9s | %9s\n" "circuit" "balanced" "left" "right";
+  List.iter
+    (fun (name, net) ->
+      let delay style =
+        let g = Subject.of_network ~style net in
+        Netlist.delay (Mapper.map Mapper.Dag db g).Mapper.netlist
+      in
+      Printf.printf "%-8s | %9.2f | %9.2f | %9.2f\n" name
+        (delay Subject.Balanced) (delay Subject.Left_skew)
+        (delay Subject.Right_skew))
+    [ ("decoder6", Generators.decoder 6);
+      ("cla32", Generators.carry_lookahead_adder 32);
+      ("C3540", Iscas_like.c3540_like ()) ]
+
+let run_complexity_section () =
+  hr "Complexity validation (paper §3.4): O(s p) labeling";
+  Printf.printf
+    "The paper claims DAG mapping is linear in the subject size s for a\n\
+     fixed library (p constant). Runtime of the full map on seeded random\n\
+     logic of growing size (lib2-like library):\n\n";
+  let lib = Option.get (Libraries.by_name "lib2") in
+  let db = Matchdb.prepare lib in
+  Printf.printf "%-10s | %8s | %9s | %12s\n" "nodes" "subject" "seconds"
+    "us per node";
+  List.iter
+    (fun nodes ->
+      let net =
+        Generators.random_dag ~seed:4242 ~inputs:64 ~outputs:32 ~nodes ()
+      in
+      let g = Subject.of_network net in
+      let t0 = Unix.gettimeofday () in
+      let _ = Mapper.map Mapper.Dag db g in
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.printf "%-10d | %8d | %9.3f | %12.2f\n" nodes
+        (Subject.num_nodes g) dt
+        (dt *. 1e6 /. float_of_int (Subject.num_nodes g)))
+    [ 500; 1000; 2000; 4000; 8000; 16000 ]
+
+let run_architecture_study () =
+  hr "Beyond the paper: mapping quality across circuit architectures";
+  Printf.printf
+    "Tree-vs-DAG delay on the same function implemented with different\n\
+     structures (16-bit add, 8x8 multiply; 44-3 library). The prefix adder\n\
+     and Wallace tree trade area for reconvergent fanout, which tree\n\
+     covering handles poorly and DAG covering exploits.\n\n";
+  let lib = Option.get (Libraries.by_name "44-3") in
+  let db = Matchdb.prepare lib in
+  Printf.printf "%-22s | %8s | %8s | %6s\n" "architecture" "tree-d" "DAG-d"
+    "ratio";
+  List.iter
+    (fun (name, net) ->
+      let g = Subject.of_network net in
+      let dt = Netlist.delay (Mapper.map Mapper.Tree db g).Mapper.netlist in
+      let dd = Netlist.delay (Mapper.map Mapper.Dag db g).Mapper.netlist in
+      Printf.printf "%-22s | %8.2f | %8.2f | %5.2fx\n" name dt dd (dt /. dd))
+    [ ("ripple-adder-16", Generators.ripple_adder 16);
+      ("carry-lookahead-16", Generators.carry_lookahead_adder 16);
+      ("carry-select-16", Generators.carry_select_adder 16);
+      ("kogge-stone-16", Generators.kogge_stone_adder 16);
+      ("array-mult-8", Generators.array_multiplier 8);
+      ("wallace-mult-8", Generators.wallace_multiplier 8) ]
+
+let run_flowmap_section () =
+  hr "FlowMap baseline (paper §2): depth-optimal k-LUT mapping";
+  Printf.printf
+    "The labeling principle the paper transfers to library mapping.\n\n";
+  Printf.printf "%-8s | %5s | %6s | %6s\n" "circuit" "k" "depth" "#LUTs";
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          let cover = Dagmap_flowmap.Flowmap.map ~k g in
+          Printf.printf "%-8s | %5d | %6d | %6d\n" name k
+            (Dagmap_flowmap.Flowmap.depth cover)
+            (Dagmap_flowmap.Flowmap.num_luts cover))
+        [ 4; 5 ])
+    [ List.nth (Lazy.force subjects) 3 (* C6288 *) ]
+
+let run_retime_section () =
+  hr "Sequential extension (paper §4): map + retime, and the optimal period";
+  Printf.printf
+    "Three-step transformation (retime / map / retime) vs the Pan-Liu-style\n\
+     optimal decision procedure with pattern matching: the optimal labeling\n\
+     maps across latch boundaries, which the three-step flow cannot.\n\n";
+  let lib = Option.get (Libraries.by_name "lib2") in
+  let db = Matchdb.prepare lib in
+  List.iter
+    (fun (name, net) ->
+      let r = Dagmap_retime.Seq_map.run db Mapper.Dag net in
+      let optimal = Dagmap_retime.Seq_opt.min_period db Mapper.Dag net in
+      Printf.printf
+        "%-22s comb=%6.2f  period %6.2f -> %6.2f (3-step) -> %6.2f (optimal)\n"
+        name r.Dagmap_retime.Seq_map.comb_delay
+        r.Dagmap_retime.Seq_map.period_before
+        r.Dagmap_retime.Seq_map.period_after optimal)
+    [ ("lfsr24", Generators.lfsr 24);
+      ("pipelined-parity-64x5", Generators.pipelined_parity 64 5) ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: one Test.make per table                   *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let g = Subject.of_network (Iscas_like.c432_like ()) in
+  let test_for_table number lib_name =
+    let lib = Option.get (Libraries.by_name lib_name) in
+    let db = Matchdb.prepare lib in
+    Test.make
+      ~name:(Printf.sprintf "table%d/dag-map-c432/%s" number lib_name)
+      (Staged.stage (fun () -> ignore (Mapper.map Mapper.Dag db g)))
+  in
+  [ test_for_table 1 "lib2"; test_for_table 2 "44-1"; test_for_table 3 "44-3" ]
+
+let run_bechamel () =
+  hr "Bechamel: mapper runtime (one benchmark per table, C432-like)";
+  let open Bechamel in
+  let open Toolkit in
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name wks ->
+          match
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false
+                 ~predictors:[| Measure.run |])
+              Instance.monotonic_clock wks
+          with
+          | ols -> begin
+            match Analyze.OLS.estimates ols with
+            | Some [ est ] ->
+              Printf.printf "  %-28s %10.3f ms/run\n" name (est /. 1e6)
+            | _ -> Printf.printf "  %-28s (no estimate)\n" name
+          end)
+        results)
+    (bechamel_tests ())
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
+  Printf.printf
+    "Reproduction harness: Delay-Optimal Technology Mapping by DAG Covering\n\
+     (Kukimoto, Brayton, Sawkar - DAC 1998). Circuits and libraries are the\n\
+     synthetic stand-ins described in DESIGN.md; compare shapes, not absolute\n\
+     numbers.\n";
+  List.iter
+    (fun (name, g) -> Printf.printf "  %-8s %s\n" name (Subject.stats g))
+    (Lazy.force subjects);
+  run_table 1 "lib2"
+    "Paper Table 1 (lib2.genlib): DAG mapping is consistently faster than\n\
+     tree mapping at some area cost; CPU overhead is moderate.";
+  run_table 2 "44-1"
+    "Paper Table 2 (44-1.genlib, 7 gates): e.g. C6288 125 -> 120, C7552 39\n\
+     -> 28. Gains exist even with a minimal library.";
+  run_table 3 "44-3"
+    "Paper Table 3 (44-3.genlib, 625 gates): the gap widens dramatically,\n\
+     e.g. C2670 22 -> 10, C6288 125 -> 42: complex gates are used far more\n\
+     effectively by DAG covering.";
+  run_figure1 ();
+  run_figure2 ();
+  run_ablation_match_classes ();
+  run_ablation_shapes ();
+  run_ablation_area_recovery ();
+  run_engine_comparison ();
+  run_ablation_cut_budget ();
+  run_delay_model_validation ();
+  run_decomposition_sensitivity ();
+  run_complexity_section ();
+  run_architecture_study ();
+  run_flowmap_section ();
+  run_retime_section ();
+  if not quick then run_bechamel ();
+  Printf.printf "\ndone.\n"

@@ -1,0 +1,420 @@
+(* techmap: command-line driver for the DAG-covering technology
+   mapper. Subcommands: map, fpga, retime, libs, circuits. *)
+
+open Dagmap_logic
+open Dagmap_genlib
+open Dagmap_subject
+open Dagmap_core
+open Dagmap_timing
+open Dagmap_flowmap
+open Dagmap_sim
+open Dagmap_circuits
+open Dagmap_retime
+
+let named_circuits () =
+  [ ("c432", Iscas_like.c432_like);
+    ("c880", Iscas_like.c880_like);
+    ("c1355", Iscas_like.c1355_like);
+    ("c1908", Iscas_like.c1908_like);
+    ("c2670", Iscas_like.c2670_like);
+    ("c3540", Iscas_like.c3540_like);
+    ("c5315", Iscas_like.c5315_like);
+    ("c6288", Iscas_like.c6288_like);
+    ("c7552", Iscas_like.c7552_like);
+    ("adder16", fun () -> Generators.ripple_adder 16);
+    ("adder32", fun () -> Generators.carry_lookahead_adder 32);
+    ("ks32", fun () -> Generators.kogge_stone_adder 32);
+    ("wmult16", fun () -> Generators.wallace_multiplier 16);
+    ("bshift64", fun () -> Generators.barrel_shifter 64);
+    ("mult8", fun () -> Generators.array_multiplier 8);
+    ("mult16", fun () -> Generators.array_multiplier 16);
+    ("alu16", fun () -> Generators.alu 16);
+    ("parity64", fun () -> Generators.parity 64);
+    ("lfsr16", fun () -> Generators.lfsr 16);
+    ("pparity32", fun () -> Generators.pipelined_parity 32 4) ]
+
+let load_circuit spec =
+  match List.assoc_opt spec (named_circuits ()) with
+  | Some f -> f ()
+  | None ->
+    if Sys.file_exists spec then Dagmap_blif.Blif.read_file spec
+    else
+      failwith
+        (Printf.sprintf
+           "unknown circuit %S (not a named benchmark, not a file)" spec)
+
+let load_library spec =
+  match Libraries.by_name spec with
+  | Some lib -> lib
+  | None ->
+    if Sys.file_exists spec then
+      Libraries.make (Filename.basename spec) (Genlib_parser.parse_file spec)
+    else
+      failwith
+        (Printf.sprintf "unknown library %S (try %s, or a genlib file)" spec
+           (String.concat "/" Libraries.names))
+
+type any_mode = Pattern_mode of Mapper.mode | Cut_mode
+
+let mode_of_string = function
+  | "tree" -> Pattern_mode Mapper.Tree
+  | "dag" -> Pattern_mode Mapper.Dag
+  | "dag-extended" -> Pattern_mode Mapper.Dag_extended
+  | "cut" -> Cut_mode
+  | m -> failwith (Printf.sprintf "unknown mode %S (tree/dag/dag-extended/cut)" m)
+
+(* ------------------------------------------------------------------ *)
+(* map                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_map circuit lib_spec mode_s opt recover buffer out_file verilog_file show_path verify =
+  let net = load_circuit circuit in
+  let net =
+    if opt then begin
+      let optimized, stats = Dagmap_opt.Netopt.optimize net in
+      Format.printf "cleanup: %a@." Dagmap_opt.Netopt.pp_stats stats;
+      optimized
+    end
+    else net
+  in
+  let lib = load_library lib_spec in
+  let db = Matchdb.prepare lib in
+  let mode = mode_of_string mode_s in
+  let sg = Subject.of_network net in
+  Printf.printf "circuit %s: %s\n" circuit (Subject.stats sg);
+  Printf.printf "library %s: %d gates, %d patterns\n" lib.Libraries.lib_name
+    (List.length lib.Libraries.gates)
+    (List.length lib.Libraries.patterns);
+  let t0 = Sys.time () in
+  let mode_name, nl, pattern_result =
+    match mode with
+    | Pattern_mode m ->
+      let result = Mapper.map m db sg in
+      (Mapper.mode_name m, result.Mapper.netlist, Some (m, result))
+    | Cut_mode ->
+      let bdb = Dagmap_cutmap.Boolean_match.prepare lib in
+      let r = Dagmap_cutmap.Cut_mapper.map bdb sg in
+      ("cut", r.Dagmap_cutmap.Cut_mapper.netlist, None)
+  in
+  let dt = Sys.time () -. t0 in
+  Printf.printf "%s mapping: delay=%.2f area=%.0f gates=%d duplicated=%d (%.2fs)\n"
+    mode_name (Netlist.delay nl) (Netlist.area nl)
+    (Netlist.num_gates nl) (Netlist.duplication nl) dt;
+  let nl =
+    match recover, pattern_result with
+    | true, Some (m, result) ->
+      let recovered = Area_recovery.recover db m sg result in
+      Printf.printf "area recovery: delay=%.2f area=%.0f gates=%d\n"
+        (Netlist.delay recovered) (Netlist.area recovered)
+        (Netlist.num_gates recovered);
+      recovered
+    | true, None ->
+      Printf.printf "area recovery: only available for pattern modes\n";
+      nl
+    | false, _ -> nl
+  in
+  let nl =
+    match buffer with
+    | None -> nl
+    | Some max_fanout ->
+      let buffered = Buffering.buffer_fanouts lib ~max_fanout nl in
+      Printf.printf
+        "buffered to fanout<=%d: gates=%d loaded-delay %.2f -> %.2f\n"
+        max_fanout (Netlist.num_gates buffered)
+        (Buffering.loaded_delay nl) (Buffering.loaded_delay buffered);
+      buffered
+  in
+  if show_path then begin
+    let report = Sta.analyze nl in
+    Format.printf "%a@?" Sta.pp_path report
+  end;
+  if verify then begin
+    let n_inputs = List.length (Subject.pi_ids sg) in
+    let verdict =
+      Equiv.compare_sims ~n_inputs
+        (fun words -> Simulate.subject sg words)
+        (fun words -> Simulate.netlist nl words)
+    in
+    Format.printf "equivalence: %a@." Equiv.pp_verdict verdict;
+    if not (Equiv.is_equivalent verdict) then exit 2
+  end;
+  (match out_file with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     output_string oc (Dagmap_blif.Blif.write_netlist nl);
+     close_out oc;
+     Printf.printf "wrote %s\n" path);
+  match verilog_file with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Dagmap_blif.Verilog.write_netlist nl);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
+(* fpga                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_fpga circuit k out_file verify =
+  let net = load_circuit circuit in
+  let sg = Subject.of_network net in
+  Printf.printf "circuit %s: %s\n" circuit (Subject.stats sg);
+  let t0 = Sys.time () in
+  let cover = Flowmap.map ~k sg in
+  let dt = Sys.time () -. t0 in
+  Printf.printf "FlowMap k=%d: depth=%d luts=%d (%.2fs)\n" k
+    (Flowmap.depth cover) (Flowmap.num_luts cover) dt;
+  (match out_file with
+   | None -> ()
+   | Some path ->
+     let lut_net = Flowmap.to_network cover in
+     let oc = open_out path in
+     output_string oc (Dagmap_blif.Blif.write_network lut_net);
+     close_out oc;
+     Printf.printf "wrote %s\n" path);
+  if verify then begin
+    let n_inputs = List.length (Subject.pi_ids sg) in
+    let verdict =
+      Equiv.compare_sims ~n_inputs
+        (fun words -> Simulate.subject sg words)
+        (fun words ->
+          (* Bit-level fallback: FlowMap eval is bool-based. *)
+          let lanes = Array.make 64 [] in
+          for lane = 0 to 63 do
+            let asg =
+              Array.map
+                (fun w ->
+                  Int64.logand (Int64.shift_right_logical w lane) 1L <> 0L)
+                words
+            in
+            lanes.(lane) <- Flowmap.eval cover asg
+          done;
+          List.mapi
+            (fun _ (name, _) ->
+              let w = ref 0L in
+              for lane = 0 to 63 do
+                if List.assoc name lanes.(lane) then
+                  w := Int64.logor !w (Int64.shift_left 1L lane)
+              done;
+              (name, !w))
+            lanes.(0))
+    in
+    Format.printf "equivalence: %a@." Equiv.pp_verdict verdict;
+    if not (Equiv.is_equivalent verdict) then exit 2
+  end
+
+(* ------------------------------------------------------------------ *)
+(* retime                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_retime circuit lib_spec mode_s =
+  let net = load_circuit circuit in
+  if Network.latches net = [] then
+    failwith "retime requires a sequential circuit (try lfsr16 or pparity32)";
+  let lib = load_library lib_spec in
+  let db = Matchdb.prepare lib in
+  let mode =
+    match mode_of_string mode_s with
+    | Pattern_mode m -> m
+    | Cut_mode -> failwith "retime supports pattern modes only"
+  in
+  let r = Seq_map.run db mode net in
+  Printf.printf "%s: mapped comb delay %.2f\n" circuit r.Seq_map.comb_delay;
+  Printf.printf "cycle time: %.2f before retiming, %.2f after\n"
+    r.Seq_map.period_before r.Seq_map.period_after;
+  Printf.printf "latches: %d before, %d after\n" r.Seq_map.latches_before
+    r.Seq_map.latches_after
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_compare circuit lib_spec =
+  let net = load_circuit circuit in
+  let lib = load_library lib_spec in
+  let db = Matchdb.prepare lib in
+  let bdb = Dagmap_cutmap.Boolean_match.prepare lib in
+  let sg = Subject.of_network net in
+  Printf.printf "circuit %s: %s\n" circuit (Subject.stats sg);
+  Printf.printf "library %s: %d gates\n\n" lib.Libraries.lib_name
+    (List.length lib.Libraries.gates);
+  Printf.printf "%-13s | %8s | %10s | %6s | %5s | %7s\n" "engine" "delay"
+    "area" "gates" "dup" "seconds";
+  let report name nl dt =
+    Printf.printf "%-13s | %8.2f | %10.0f | %6d | %5d | %7.2f\n" name
+      (Netlist.delay nl) (Netlist.area nl) (Netlist.num_gates nl)
+      (Netlist.duplication nl) dt
+  in
+  List.iter
+    (fun mode ->
+      let t0 = Sys.time () in
+      let r = Mapper.map mode db sg in
+      let dt = Sys.time () -. t0 in
+      report (Mapper.mode_name mode) r.Mapper.netlist dt;
+      if mode = Mapper.Dag then begin
+        let t1 = Sys.time () in
+        let recovered = Area_recovery.recover db mode sg r in
+        report "dag+recover" recovered (Sys.time () -. t1)
+      end)
+    [ Mapper.Tree; Mapper.Dag; Mapper.Dag_extended ];
+  let t0 = Sys.time () in
+  let rc = Dagmap_cutmap.Cut_mapper.map bdb sg in
+  report "cut-boolean" rc.Dagmap_cutmap.Cut_mapper.netlist (Sys.time () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* libs / circuits listings                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_libs dump =
+  List.iter
+    (fun name ->
+      match Libraries.by_name name with
+      | None -> ()
+      | Some lib ->
+        Printf.printf "%-8s %4d gates %5d patterns %6d pattern nodes\n" name
+          (List.length lib.Libraries.gates)
+          (List.length lib.Libraries.patterns)
+          (Libraries.num_pattern_nodes lib);
+        if dump then
+          print_string (Genlib_parser.to_string lib.Libraries.gates))
+    Libraries.names
+
+let run_circuits () =
+  List.iter
+    (fun (name, f) ->
+      let net = f () in
+      let sg = Subject.of_network net in
+      Printf.printf "%-10s %s | %s\n" name (Network.stats net)
+        (Subject.stats sg))
+    (named_circuits ())
+
+(* ------------------------------------------------------------------ *)
+(* Command line                                                        *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let circuit_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"CIRCUIT" ~doc:"Named benchmark or BLIF file.")
+
+let lib_arg =
+  Arg.(
+    value & opt string "lib2"
+    & info [ "l"; "lib" ] ~docv:"LIB"
+        ~doc:"Gate library: lib2, 44-1, 44-3, minimal, or a genlib file.")
+
+let mode_arg =
+  Arg.(
+    value & opt string "dag"
+    & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"tree, dag, or dag-extended.")
+
+let wrap f =
+  try `Ok (f ()) with
+  | Failure m | Invalid_argument m ->
+    `Error (false, m)
+
+let map_cmd =
+  let recover =
+    Arg.(value & flag & info [ "recover-area" ] ~doc:"Run area recovery.")
+  in
+  let opt =
+    Arg.(
+      value & flag
+      & info [ "opt" ] ~doc:"Clean the network before decomposition.")
+  in
+  let buffer =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "buffer" ] ~docv:"K" ~doc:"Buffer fanouts above K.")
+  in
+  let out_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write mapped BLIF.")
+  in
+  let verilog_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "verilog" ] ~docv:"FILE" ~doc:"Write mapped Verilog.")
+  in
+  let show_path =
+    Arg.(value & flag & info [ "path" ] ~doc:"Print the critical path.")
+  in
+  let verify =
+    Arg.(value & flag & info [ "verify" ] ~doc:"Random-simulation check.")
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun c l m op r b o vf p v ->
+             wrap (fun () -> run_map c l m op r b o vf p v))
+        $ circuit_arg $ lib_arg $ mode_arg $ opt $ recover $ buffer $ out_file
+        $ verilog_file $ show_path $ verify))
+  in
+  Cmd.v (Cmd.info "map" ~doc:"Map a circuit onto a gate library.") term
+
+let fpga_cmd =
+  let k_arg =
+    Arg.(value & opt int 5 & info [ "k" ] ~docv:"K" ~doc:"LUT input count.")
+  in
+  let verify =
+    Arg.(value & flag & info [ "verify" ] ~doc:"Random-simulation check.")
+  in
+  let out_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the LUT cover as BLIF.")
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun c k o v -> wrap (fun () -> run_fpga c k o v))
+        $ circuit_arg $ k_arg $ out_file $ verify))
+  in
+  Cmd.v (Cmd.info "fpga" ~doc:"Depth-optimal k-LUT mapping (FlowMap).") term
+
+let retime_cmd =
+  let term =
+    Term.(
+      ret
+        (const (fun c l m -> wrap (fun () -> run_retime c l m))
+        $ circuit_arg $ lib_arg $ mode_arg))
+  in
+  Cmd.v
+    (Cmd.info "retime" ~doc:"Map a sequential circuit and retime it.")
+    term
+
+let compare_cmd =
+  let term =
+    Term.(
+      ret
+        (const (fun c l -> wrap (fun () -> run_compare c l))
+        $ circuit_arg $ lib_arg))
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run every mapping engine on one circuit.")
+    term
+
+let libs_cmd =
+  let dump = Arg.(value & flag & info [ "dump" ] ~doc:"Print genlib text.") in
+  let term = Term.(ret (const (fun d -> wrap (fun () -> run_libs d)) $ dump)) in
+  Cmd.v (Cmd.info "libs" ~doc:"List the built-in gate libraries.") term
+
+let circuits_cmd =
+  let term = Term.(ret (const (fun () -> wrap run_circuits) $ const ())) in
+  Cmd.v (Cmd.info "circuits" ~doc:"List the named benchmark circuits.") term
+
+let () =
+  let doc = "delay-optimal technology mapping by DAG covering" in
+  let info = Cmd.info "techmap" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+          [ map_cmd; fpga_cmd; retime_cmd; compare_cmd; libs_cmd; circuits_cmd ]))

@@ -1,0 +1,1 @@
+examples/fpga_flowmap.ml: Array Dagmap_circuits Dagmap_flowmap Dagmap_subject Flowmap Generators List Printf Random Subject

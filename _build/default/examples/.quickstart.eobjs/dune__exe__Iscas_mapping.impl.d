@@ -1,0 +1,1 @@
+examples/iscas_mapping.ml: Dagmap_circuits Dagmap_core Dagmap_genlib Dagmap_subject Dagmap_timing Format Iscas_like Libraries List Mapper Matchdb Netlist Printf Sta Subject

@@ -1,0 +1,1 @@
+examples/iscas_mapping.mli:

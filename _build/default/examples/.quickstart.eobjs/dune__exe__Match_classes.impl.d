@@ -1,0 +1,1 @@
+examples/match_classes.ml: Array Bexpr Dagmap_core Dagmap_genlib Dagmap_logic Dagmap_subject Gate Libraries List Mapper Matchdb Matcher Netlist Pattern Printf Subject

@@ -1,0 +1,1 @@
+examples/match_classes.mli:

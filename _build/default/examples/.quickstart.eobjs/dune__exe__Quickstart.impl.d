@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bexpr Dagmap_core Dagmap_genlib Dagmap_logic Dagmap_sim Dagmap_subject Equiv Format Libraries List Mapper Matchdb Netlist Network Printf Simulate Subject

@@ -1,0 +1,1 @@
+examples/sequential_retiming.ml: Dagmap_circuits Dagmap_core Dagmap_genlib Dagmap_logic Dagmap_retime Generators Libraries List Mapper Matchdb Printf Retiming Seq_map

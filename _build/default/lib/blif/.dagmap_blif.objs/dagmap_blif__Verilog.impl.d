@@ -1,0 +1,1 @@
+lib/blif/verilog.ml: Array Bexpr Buffer Dagmap_core Dagmap_genlib Dagmap_logic Dagmap_subject Gate Hashtbl List Netlist Network Printf String Subject

@@ -1,0 +1,1 @@
+lib/blif/verilog.mli: Dagmap_core Dagmap_logic Netlist Network

@@ -1,0 +1,23 @@
+(** BLIF (Berkeley Logic Interchange Format) reader and writer.
+
+    Supported constructs: [.model], [.inputs], [.outputs], [.names]
+    (single-output cover with [0/1/-] cubes, both on-set and off-set
+    covers), [.latch] (edge-triggered, optional clock ignored),
+    [.end], [#] comments, [\ ] line continuations.
+
+    Mapped netlists are written with SIS-style [.gate] statements. *)
+
+open Dagmap_logic
+open Dagmap_core
+
+exception Parse_error of { line : int; message : string }
+
+val read_string : string -> Network.t
+val read_file : string -> Network.t
+
+val write_network : Network.t -> string
+(** Logic nodes are emitted as minterm covers of their expressions. *)
+
+val write_netlist : Netlist.t -> string
+(** Emit a mapped netlist using [.gate] statements
+    ([.gate <gate> <pin>=<net> ... O=<net>]). *)

@@ -1,0 +1,22 @@
+(** Structural Verilog export.
+
+    Mapped netlists are written with one continuous assignment per
+    gate instance (the gate's Boolean formula inlined over its input
+    nets), so the output simulates in any Verilog environment without
+    cell models; an optional cell-instantiation style emits
+    [gate inst (.pin(net), ...)] lines instead, for flows that supply
+    a cell library. Networks are written with one assignment per
+    logic node. Identifiers are sanitized to Verilog rules and kept
+    unique. *)
+
+open Dagmap_logic
+open Dagmap_core
+
+val write_network : ?module_name:string -> Network.t -> string
+(** Combinational networks only; latches become [always @(posedge
+    clk)] registers with an implicit [clk] port. *)
+
+val write_netlist :
+  ?module_name:string -> ?cell_style:bool -> Netlist.t -> string
+(** [cell_style] (default false) selects gate instantiations instead
+    of inlined assignments. *)

@@ -1,0 +1,1 @@
+lib/circuits/generators.ml: Array Bexpr Dagmap_logic Hashtbl Lazy List Network Option Printf Random

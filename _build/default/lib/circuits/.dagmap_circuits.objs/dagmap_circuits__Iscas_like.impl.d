@@ -1,0 +1,1 @@
+lib/circuits/iscas_like.ml: Array Dagmap_logic Generators List Network

@@ -1,0 +1,83 @@
+(** Parameterized combinational circuit generators.
+
+    These provide functionally-verifiable workloads (adders and
+    multipliers are tested against machine arithmetic in the test
+    suite) and seeded random logic used to build the ISCAS-85-like
+    benchmark stand-ins (see {!Iscas_like}). *)
+
+open Dagmap_logic
+
+val ripple_adder : int -> Network.t
+(** [ripple_adder n]: inputs [a0..a(n-1)], [b0..b(n-1)], [cin];
+    outputs [s0..s(n-1)], [cout]. *)
+
+val carry_lookahead_adder : int -> Network.t
+(** Same interface as {!ripple_adder}, 4-bit lookahead blocks. *)
+
+val carry_select_adder : int -> Network.t
+(** Same interface as {!ripple_adder}, 4-bit select blocks computing
+    both carry polarities (heavier, shallower). *)
+
+val array_multiplier : int -> Network.t
+(** [array_multiplier n]: [n*n] array multiplier (AND partial
+    products, carry-save rows, ripple final stage); inputs [a*], [b*];
+    outputs [p0..p(2n-1)]. The real C6288 is exactly the [n = 16]
+    instance of this structure. *)
+
+val kogge_stone_adder : int -> Network.t
+(** Parallel-prefix adder (same interface as {!ripple_adder}):
+    logarithmic depth with heavy multi-fanout reconvergence — the
+    structure where tree covering loses the most to DAG covering. *)
+
+val wallace_multiplier : int -> Network.t
+(** [n*n] multiplier with a Wallace-style reduction tree (3:2
+    compressors applied level-wise) and a ripple final stage; same
+    interface as {!array_multiplier}, logarithmic reduction depth. *)
+
+val barrel_shifter : int -> Network.t
+(** [barrel_shifter n] ([n] a power of two): logical left shifter.
+    Inputs [x0..x(n-1)] and [s0..s(log n - 1)]; outputs
+    [y0..y(n-1)]. Built from [log n] mux stages. *)
+
+val parity : int -> Network.t
+(** XOR tree: inputs [x0..x(n-1)], output [par]. *)
+
+val mux_tree : int -> Network.t
+(** [mux_tree k]: [2^k] data inputs, [k] selects, one output. *)
+
+val decoder : int -> Network.t
+(** [decoder k]: [k] inputs, [2^k] one-hot outputs. *)
+
+val comparator : int -> Network.t
+(** [comparator n]: outputs [eq], [lt] ([a < b] unsigned). *)
+
+val alu : int -> Network.t
+(** [alu n]: an [n]-bit ALU with a 2-bit opcode: 00 add, 01 and,
+    10 or, 11 xor; outputs [r0..r(n-1)], [cout]. *)
+
+val random_dag :
+  ?seed:int ->
+  ?inputs:int ->
+  ?outputs:int ->
+  nodes:int ->
+  unit ->
+  Network.t
+(** Seeded random reconvergent logic: each node applies a random
+    2-4-input function (AND/OR/NAND/NOR/XOR/MUX/AOI/MAJ mix) to
+    earlier signals with a recency bias that yields realistic depth.
+    Deterministic for a given seed. *)
+
+val combine : name:string -> Network.t list -> Network.t
+(** Disjoint union of several networks into one (inputs and outputs
+    prefixed per part to stay unique). Parts must be combinational. *)
+
+val lfsr : int -> Network.t
+(** [lfsr n]: a Fibonacci linear-feedback shift register of [n]
+    latches (taps at the ends), with an [enable] input and the
+    register state exposed as outputs. Sequential. *)
+
+val pipelined_parity : int -> int -> Network.t
+(** [pipelined_parity n stages]: an [n]-input XOR tree cut by
+    [stages] latch ranks, all placed immediately before the output —
+    maximally unbalanced, so min-period retiming has room to improve
+    the clock (a retiming showcase). Sequential. *)

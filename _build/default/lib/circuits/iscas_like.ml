@@ -1,0 +1,114 @@
+open Dagmap_logic
+
+(* Each stand-in combines arithmetic cores (which create the long
+   reconvergent carry and compare chains that make delay mapping
+   interesting) with seeded random control logic (which creates the
+   irregular multi-fanout structure that separates tree covering from
+   DAG covering). Sizes approximate the ISCAS-85 subject graphs. *)
+
+let rename name net =
+  let renamed = Network.create ~name () in
+  let remap = Array.make (Network.num_nodes net) (-1) in
+  List.iter
+    (fun id ->
+      let n = Network.node net id in
+      remap.(id) <- Network.add_pi renamed n.Network.name)
+    (Network.pis net);
+  List.iter
+    (fun id ->
+      let n = Network.node net id in
+      match n.Network.kind with
+      | Network.Pi | Network.Latch_out -> ()
+      | Network.Logic ->
+        let fanins = Array.map (fun f -> remap.(f)) n.Network.fanins in
+        remap.(id) <-
+          Network.add_logic renamed ~name:n.Network.name n.Network.expr fanins)
+    (Network.topological_order net);
+  List.iter (fun (po, id) -> Network.add_po renamed po remap.(id)) (Network.pos net);
+  renamed
+
+let c432_like () =
+  rename "c432"
+    (Generators.combine ~name:"c432"
+       [ Generators.decoder 4;
+         Generators.comparator 9;
+         Generators.random_dag ~seed:432 ~inputs:18 ~outputs:7 ~nodes:130 () ])
+
+let c880_like () =
+  rename "c880"
+    (Generators.combine ~name:"c880"
+       [ Generators.alu 8;
+         Generators.parity 16;
+         Generators.random_dag ~seed:880 ~inputs:24 ~outputs:10 ~nodes:200 () ])
+
+let c1355_like () =
+  rename "c1355"
+    (Generators.combine ~name:"c1355"
+       [ Generators.parity 32;
+         Generators.parity 25;
+         Generators.random_dag ~seed:1355 ~inputs:41 ~outputs:30 ~nodes:330 () ])
+
+let c1908_like () =
+  rename "c1908"
+    (Generators.combine ~name:"c1908"
+       [ Generators.parity 16;
+         Generators.comparator 16;
+         Generators.ripple_adder 16;
+         Generators.random_dag ~seed:1908 ~inputs:33 ~outputs:22 ~nodes:470 () ])
+
+let c2670_like () =
+  rename "c2670"
+    (Generators.combine ~name:"c2670"
+       [ Generators.alu 12;
+         Generators.comparator 16;
+         Generators.carry_lookahead_adder 16;
+         Generators.random_dag ~seed:2670 ~inputs:64 ~outputs:48 ~nodes:620 () ])
+
+let c3540_like () =
+  rename "c3540"
+    (Generators.combine ~name:"c3540"
+       [ Generators.alu 16;
+         Generators.decoder 5;
+         Generators.mux_tree 5;
+         Generators.carry_select_adder 16;
+         Generators.random_dag ~seed:3540 ~inputs:50 ~outputs:22 ~nodes:850 () ])
+
+let c5315_like () =
+  rename "c5315"
+    (Generators.combine ~name:"c5315"
+       [ Generators.alu 16;
+         Generators.alu 12;
+         Generators.comparator 24;
+         Generators.mux_tree 6;
+         Generators.carry_lookahead_adder 24;
+         Generators.random_dag ~seed:5315 ~inputs:96 ~outputs:64 ~nodes:1300 () ])
+
+let c6288_like () = rename "c6288" (Generators.array_multiplier 16)
+
+let c7552_like () =
+  rename "c7552"
+    (Generators.combine ~name:"c7552"
+       [ Generators.carry_lookahead_adder 32;
+         Generators.comparator 32;
+         Generators.parity 32;
+         Generators.alu 16;
+         Generators.mux_tree 5;
+         Generators.random_dag ~seed:7552 ~inputs:128 ~outputs:80 ~nodes:1800 () ])
+
+let table_circuits () =
+  [ ("C2670", c2670_like ());
+    ("C3540", c3540_like ());
+    ("C5315", c5315_like ());
+    ("C6288", c6288_like ());
+    ("C7552", c7552_like ()) ]
+
+let all () =
+  [ ("C432", c432_like ());
+    ("C880", c880_like ());
+    ("C1355", c1355_like ());
+    ("C1908", c1908_like ());
+    ("C2670", c2670_like ());
+    ("C3540", c3540_like ());
+    ("C5315", c5315_like ());
+    ("C6288", c6288_like ());
+    ("C7552", c7552_like ()) ]

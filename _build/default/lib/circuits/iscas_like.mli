@@ -1,0 +1,34 @@
+(** Deterministic synthetic stand-ins for the ISCAS-85 benchmarks
+    used by the paper's experiments.
+
+    The original netlists are not distributable here, so each
+    benchmark is replaced by a generated circuit of the same flavor
+    and comparable subject-graph size (see DESIGN.md,
+    "Substitutions"): [c6288_like] is a genuine 16x16 array
+    multiplier — the real C6288 is exactly that structure — and the
+    others mix arithmetic slices with seeded reconvergent random
+    logic sized to the published benchmarks. *)
+
+open Dagmap_logic
+
+(** Flavors: c432 priority control; c880 8-bit ALU; c1355/c1908 ECC
+    and parity; c2670 ALU + comparator; c3540 ALU + control; c5315
+    large ALU/selector; c6288 16x16 array multiplier; c7552
+    adder/comparator/parity. *)
+
+val c432_like : unit -> Network.t
+val c880_like : unit -> Network.t
+val c1355_like : unit -> Network.t
+val c1908_like : unit -> Network.t
+val c2670_like : unit -> Network.t
+val c3540_like : unit -> Network.t
+val c5315_like : unit -> Network.t
+val c6288_like : unit -> Network.t
+val c7552_like : unit -> Network.t
+
+val table_circuits : unit -> (string * Network.t) list
+(** The five circuits of the paper's Tables 1-3, in paper order:
+    C2670, C3540, C5315, C6288, C7552 (the [_like] stand-ins). *)
+
+val all : unit -> (string * Network.t) list
+(** All nine stand-ins, smallest first. *)

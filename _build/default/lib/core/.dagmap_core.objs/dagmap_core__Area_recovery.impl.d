@@ -1,0 +1,1 @@
+lib/core/area_recovery.ml: Array Dagmap_genlib Dagmap_subject Float Gate Hashtbl List Mapper Matchdb Matcher Netlist Option Subject

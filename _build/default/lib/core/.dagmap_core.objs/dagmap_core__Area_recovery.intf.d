@@ -1,0 +1,1 @@
+lib/core/area_recovery.mli: Dagmap_subject Mapper Matchdb Netlist Subject

@@ -1,0 +1,1 @@
+lib/core/buffering.ml: Array Dagmap_genlib Float Gate Hashtbl Libraries List Netlist Option

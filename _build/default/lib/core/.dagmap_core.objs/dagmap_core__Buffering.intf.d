@@ -1,0 +1,1 @@
+lib/core/buffering.mli: Dagmap_genlib Libraries Netlist

@@ -1,0 +1,1 @@
+lib/core/mapper.ml: Array Dagmap_genlib Dagmap_subject Float Gate Hashtbl List Matchdb Matcher Netlist Printf Queue Subject Sys

@@ -1,0 +1,1 @@
+lib/core/mapper.mli: Dagmap_subject Matchdb Matcher Netlist Subject

@@ -1,0 +1,1 @@
+lib/core/matchdb.ml: Array Dagmap_genlib Dagmap_subject Libraries List Matcher Pattern Subject

@@ -1,0 +1,1 @@
+lib/core/matchdb.mli: Dagmap_genlib Dagmap_subject Libraries Matcher Subject

@@ -1,0 +1,1 @@
+lib/core/matcher.ml: Array Dagmap_genlib Dagmap_subject Gate Hashtbl List Pattern Subject

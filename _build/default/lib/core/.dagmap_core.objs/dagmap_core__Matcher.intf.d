@@ -1,0 +1,1 @@
+lib/core/matcher.mli: Dagmap_genlib Dagmap_subject Gate Pattern Subject

@@ -1,0 +1,1 @@
+lib/core/netlist.ml: Array Dagmap_genlib Dagmap_logic Dagmap_subject Float Format Gate Hashtbl List Option Printf Subject Truth

@@ -1,0 +1,1 @@
+lib/core/netlist.mli: Dagmap_genlib Dagmap_subject Format Gate Subject

@@ -1,0 +1,1 @@
+lib/core/sizing.ml: Array Dagmap_genlib Float Gate List Netlist

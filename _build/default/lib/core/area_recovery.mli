@@ -1,0 +1,29 @@
+(** Slack-driven area recovery after delay-optimal mapping (the
+    paper's conclusion sketches this direction, citing the FlowMap
+    area/depth tradeoff work).
+
+    The labeling pass gives every subject node its optimal arrival.
+    Re-covering walks the needed nodes in reverse topological order
+    carrying a required-time budget: each node picks the {e smallest}
+    match whose label-implied arrival meets the budget, and leaves
+    inherit [budget - pin delay]. Feasibility is guaranteed because
+    optimal labels always satisfy their own budgets, so the recovered
+    netlist meets the optimal worst-case delay with (usually
+    substantially) less area; if the heuristic happens not to help on
+    a given circuit, the original cover is returned unchanged, so
+    recovery never regresses. *)
+
+open Dagmap_subject
+
+val recover :
+  ?per_output:bool ->
+  Matchdb.t ->
+  Mapper.mode ->
+  Subject.t ->
+  Mapper.result ->
+  Netlist.t
+(** [recover db mode g result] rebuilds the cover of [result] for
+    minimum area under the delay budget. With [per_output] (default
+    false) each output must meet its own optimal arrival; otherwise
+    only the worst output arrival is preserved, freeing more slack on
+    fast outputs. *)

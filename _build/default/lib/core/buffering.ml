@@ -1,0 +1,132 @@
+open Dagmap_genlib
+
+let fanout_of_driver nl =
+  let counts = Hashtbl.create 64 in
+  let bump = function
+    | Netlist.D_const _ -> ()
+    | d -> Hashtbl.replace counts d (1 + Option.value ~default:0 (Hashtbl.find_opt counts d))
+  in
+  Array.iter (fun i -> Array.iter bump i.Netlist.inputs) nl.Netlist.instances;
+  List.iter (fun (_, d) -> bump d) nl.Netlist.outputs;
+  counts
+
+let loaded_delay ?(alpha = 0.2) nl =
+  let fanouts = fanout_of_driver nl in
+  (* Loading is a property of the net: gate outputs and primary
+     inputs both slow down with sink count. *)
+  let load_penalty d =
+    match d with
+    | Netlist.D_gate _ | Netlist.D_pi _ ->
+      let fo = Option.value ~default:1 (Hashtbl.find_opt fanouts d) in
+      alpha *. float_of_int (max 0 (fo - 1))
+    | Netlist.D_const _ -> 0.0
+  in
+  (* Topological arrival with the driver's fanout penalty added. *)
+  let n = Array.length nl.Netlist.instances in
+  let arrival = Array.make n nan in
+  let rec arr i =
+    if Float.is_nan arrival.(i) then begin
+      let inst = nl.Netlist.instances.(i) in
+      let worst = ref 0.0 in
+      Array.iteri
+        (fun pin d ->
+          let input_arrival =
+            match d with
+            | Netlist.D_pi _ | Netlist.D_const _ -> 0.0
+            | Netlist.D_gate j -> arr j
+          in
+          worst :=
+            Float.max !worst
+              (input_arrival +. load_penalty d
+              +. Gate.intrinsic_delay inst.Netlist.gate pin))
+        inst.Netlist.inputs;
+      arrival.(i) <- !worst
+    end;
+    arrival.(i)
+  in
+  List.fold_left
+    (fun acc (_, d) ->
+      match d with
+      | Netlist.D_gate j -> Float.max acc (arr j +. load_penalty d)
+      | Netlist.D_pi _ | Netlist.D_const _ -> acc)
+    0.0 nl.Netlist.outputs
+
+(* Round-robin split into at most [k] groups. *)
+let split_into k xs =
+  let groups = Array.make k [] in
+  List.iteri (fun i x -> groups.(i mod k) <- x :: groups.(i mod k)) xs;
+  Array.to_list groups |> List.filter (fun g -> g <> [])
+
+let buffer_fanouts lib ~max_fanout nl =
+  if max_fanout < 2 then invalid_arg "buffer_fanouts: max_fanout < 2";
+  let buffer_gate = List.find_opt Gate.is_buffer lib.Libraries.gates in
+  let inverter_gate = List.find_opt Gate.is_inverter lib.Libraries.gates in
+  if buffer_gate = None && inverter_gate = None then
+    invalid_arg "buffer_fanouts: library has neither buffer nor inverter";
+  (* Copies with fresh input arrays we can rewrite in place. *)
+  let base =
+    Array.map
+      (fun i -> { i with Netlist.inputs = Array.copy i.Netlist.inputs })
+      nl.Netlist.instances
+  in
+  let extra = ref [] in
+  let next_id = ref (Array.length base) in
+  let new_instance gate inputs subject_root =
+    let id = !next_id in
+    incr next_id;
+    extra :=
+      { Netlist.inst_id = id; gate; inputs; subject_root; covers = [||] }
+      :: !extra;
+    id
+  in
+  let make_buffer src root =
+    match buffer_gate with
+    | Some g -> Netlist.D_gate (new_instance g [| src |] root)
+    | None ->
+      let g = Option.get inverter_gate in
+      let first = new_instance g [| src |] root in
+      Netlist.D_gate (new_instance g [| Netlist.D_gate first |] root)
+  in
+  (* Consumer slots: closures that rewrite one sink. *)
+  let outputs = Array.of_list nl.Netlist.outputs in
+  let slots_of = Hashtbl.create 64 in
+  let add_slot d slot =
+    match d with
+    | Netlist.D_const _ -> ()
+    | d ->
+      Hashtbl.replace slots_of d
+        (slot :: Option.value ~default:[] (Hashtbl.find_opt slots_of d))
+  in
+  Array.iteri
+    (fun i inst ->
+      Array.iteri
+        (fun pin d -> add_slot d (fun src -> base.(i).Netlist.inputs.(pin) <- src))
+        inst.Netlist.inputs)
+    base;
+  Array.iteri
+    (fun i (name, d) -> add_slot d (fun src -> outputs.(i) <- (name, src)))
+    outputs;
+  let root_of = function
+    | Netlist.D_gate j -> base.(j).Netlist.subject_root
+    | Netlist.D_pi id -> id
+    | Netlist.D_const _ -> -1
+  in
+  let rec serve root src slots =
+    if List.length slots <= max_fanout then
+      List.iter (fun slot -> slot src) slots
+    else begin
+      let groups = split_into max_fanout slots in
+      List.iter
+        (fun group ->
+          match group with
+          | [ slot ] -> slot src
+          | group -> serve root (make_buffer src root) group)
+        groups
+    end
+  in
+  Hashtbl.iter
+    (fun d slots ->
+      if List.length slots > max_fanout then serve (root_of d) d slots)
+    slots_of;
+  let instances = Array.append base (Array.of_list (List.rev !extra)) in
+  { nl with Netlist.instances; outputs = Array.to_list outputs }

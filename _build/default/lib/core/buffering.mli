@@ -1,0 +1,24 @@
+(** Post-mapping fanout buffering (paper §3.5: "buffering techniques
+    proposed in the literature can be directly used in conjunction
+    with DAG covering to speed up multiple-fanout points").
+
+    The mappers optimize the load-independent model; this module
+    provides the complementary load-aware view: {!loaded_delay}
+    charges each instance an extra delay per fanout beyond the first,
+    and {!buffer_fanouts} builds balanced buffer trees so no driver
+    sees more than a given number of sinks (a simplified Touati-style
+    construction). *)
+
+open Dagmap_genlib
+
+val loaded_delay : ?alpha:float -> Netlist.t -> float
+(** Worst output arrival when each instance's pin delays are
+    inflated by [alpha * (fanout - 1)] (default [alpha = 0.2]). *)
+
+val buffer_fanouts :
+  Libraries.t -> max_fanout:int -> Netlist.t -> Netlist.t
+(** Rebuild the netlist with balanced buffer trees at every driver
+    whose fanout exceeds [max_fanout] (which must be at least 2).
+    Uses the library's buffer gate, or an inverter pair when the
+    library has no buffer. Raises [Invalid_argument] if the library
+    has neither. *)

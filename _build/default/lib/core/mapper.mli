@@ -1,0 +1,62 @@
+(** Delay-oriented technology mapping by graph covering.
+
+    One dynamic program serves both mappers, parameterized by the
+    match class:
+
+    - {!Tree}: exact matches only — matches never cross multi-fanout
+      points and never require duplication; this is conventional
+      tree covering (Keutzer / Rudell / SIS) expressed as a DP over
+      the whole graph.
+    - {!Dag}: standard matches — the paper's contribution. The
+      labeling pass computes, in topological order, each node's
+      optimal arrival time over all matches rooted there; the cover
+      pass walks back from the outputs, duplicating subject nodes as
+      needed (paper §3.1, §3.3).
+    - {!Dag_extended}: extended matches (Definition 3); the paper's
+      footnote 3 reports no quality difference vs. standard, which
+      our ablation benchmark checks.
+
+    Under the load-independent delay model the DAG modes are
+    delay-optimal with respect to the subject graph and the pattern
+    set. *)
+
+open Dagmap_subject
+
+type mode = Tree | Dag | Dag_extended
+
+val mode_name : mode -> string
+val mode_class : mode -> Matcher.match_class
+
+exception Unmappable of { node : int; description : string }
+(** Raised when some subject node has no match at all (cannot happen
+    when the library contains INV and NAND2). *)
+
+type stats = {
+  label_seconds : float;
+  cover_seconds : float;
+  matches_tried : int;   (** successful matches enumerated while labeling *)
+}
+
+type result = {
+  netlist : Netlist.t;
+  labels : float array;  (** optimal arrival per subject node *)
+  best : Matcher.mtch option array;
+  run : stats;
+}
+
+val map : mode -> Matchdb.t -> Subject.t -> result
+
+val label :
+  ?pi_arrival:(int -> float) ->
+  mode ->
+  Matchdb.t ->
+  Subject.t ->
+  float array * Matcher.mtch option array * int
+(** Labeling pass only: optimal arrival and best match per node,
+    plus the count of matches enumerated. [pi_arrival] overrides the
+    arrival time of a PI node (default 0 everywhere) — the sequential
+    extension uses it to inject latch-output arrivals. *)
+
+val optimal_delay : result -> float
+(** Worst label over the subject outputs (equals
+    [Netlist.delay result.netlist]; the test suite asserts this). *)

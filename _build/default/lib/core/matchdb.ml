@@ -1,0 +1,86 @@
+open Dagmap_genlib
+open Dagmap_subject
+
+(* Category of a pattern node as seen from its parent: a leaf matches
+   any subject node; inverters and NANDs must match like kinds. *)
+type cat = Cl | Ci | Cn
+
+let cat_of_pnode p i =
+  match p.Pattern.nodes.(i) with
+  | Pattern.Pleaf _ -> Cl
+  | Pattern.Pinv _ -> Ci
+  | Pattern.Pnand _ -> Cn
+
+let cat_matches cat (k : Subject.kind) =
+  match cat, k with
+  | Cl, _ -> true
+  | Ci, Sinv _ -> true
+  | Cn, Snand _ -> true
+  | (Ci | Cn), _ -> false
+
+type t = {
+  lib : Libraries.t;
+  (* NAND-rooted patterns bucketed by the unordered pair of child
+     categories; INV-rooted by the single child category. *)
+  nand_buckets : Pattern.t list array array; (* [cat][cat], cat_a <= cat_b *)
+  inv_buckets : Pattern.t list array;
+}
+
+let cat_index = function Cl -> 0 | Ci -> 1 | Cn -> 2
+
+let prepare lib =
+  let nand_buckets = Array.make_matrix 3 3 [] in
+  let inv_buckets = Array.make 3 [] in
+  List.iter
+    (fun p ->
+      match p.Pattern.nodes.(p.Pattern.root) with
+      | Pattern.Pleaf _ ->
+        (* Wire/buffer patterns cannot root a cover. *)
+        ()
+      | Pattern.Pinv c ->
+        let i = cat_index (cat_of_pnode p c) in
+        inv_buckets.(i) <- p :: inv_buckets.(i)
+      | Pattern.Pnand (a, b) ->
+        let ia = cat_index (cat_of_pnode p a) in
+        let ib = cat_index (cat_of_pnode p b) in
+        let lo, hi = if ia <= ib then (ia, ib) else (ib, ia) in
+        nand_buckets.(lo).(hi) <- p :: nand_buckets.(lo).(hi))
+    lib.Libraries.patterns;
+  { lib; nand_buckets; inv_buckets }
+
+let library db = db.lib
+
+let num_patterns db = List.length db.lib.Libraries.patterns
+
+let cats = [| Cl; Ci; Cn |]
+
+let for_each_node_match db cls g ~fanouts ~levels node f =
+  let try_pattern p =
+    if p.Pattern.depth <= levels.(node) then
+      Matcher.for_each_match cls g ~fanouts p node f
+  in
+  match Subject.kind g node with
+  | Spi -> ()
+  | Sinv x ->
+    let kx = Subject.kind g x in
+    Array.iteri
+      (fun i cat ->
+        if cat_matches cat kx then List.iter try_pattern db.inv_buckets.(i))
+      cats
+  | Snand (x, y) ->
+    let kx = Subject.kind g x and ky = Subject.kind g y in
+    for lo = 0 to 2 do
+      for hi = lo to 2 do
+        let a = cats.(lo) and b = cats.(hi) in
+        let compatible =
+          (cat_matches a kx && cat_matches b ky)
+          || (cat_matches a ky && cat_matches b kx)
+        in
+        if compatible then List.iter try_pattern db.nand_buckets.(lo).(hi)
+      done
+    done
+
+let node_matches db cls g ~fanouts ~levels node =
+  let acc = ref [] in
+  for_each_node_match db cls g ~fanouts ~levels node (fun m -> acc := m :: !acc);
+  List.rev !acc

@@ -1,0 +1,39 @@
+(** A gate library prepared for fast match enumeration.
+
+    Patterns are bucketed by the structural signature of their top
+    two levels (root kind and child categories) and filtered by
+    depth, so that at each subject node only plausibly-matching
+    patterns are attempted. This keeps the labeling pass close to the
+    O(s p) bound of the paper with a small effective [p]. *)
+
+open Dagmap_genlib
+open Dagmap_subject
+
+type t
+
+val prepare : Libraries.t -> t
+
+val library : t -> Libraries.t
+
+val num_patterns : t -> int
+
+val for_each_node_match :
+  t ->
+  Matcher.match_class ->
+  Subject.t ->
+  fanouts:int array ->
+  levels:int array ->
+  int ->
+  (Matcher.mtch -> unit) ->
+  unit
+(** Enumerate every match of every library pattern rooted at the
+    given subject node. [levels] must be [Subject.levels g]. *)
+
+val node_matches :
+  t ->
+  Matcher.match_class ->
+  Subject.t ->
+  fanouts:int array ->
+  levels:int array ->
+  int ->
+  Matcher.mtch list

@@ -1,0 +1,102 @@
+open Dagmap_genlib
+open Dagmap_subject
+
+type match_class = Standard | Exact | Extended
+
+let class_name = function
+  | Standard -> "standard"
+  | Exact -> "exact"
+  | Extended -> "extended"
+
+type mtch = { pattern : Pattern.t; pins : int array; covered : int array }
+
+let gate m = m.pattern.Pattern.gate
+
+(* Enumerate matches by backtracking over the pattern DAG. [binding]
+   maps pattern node -> subject node (-1 = unbound); [bound_to] is the
+   reverse map enforcing injectivity for standard/exact matches. The
+   search is driven by success continuations so that both NAND fanin
+   orders are explored; bindings are undone on the way out. *)
+let for_each_match cls g ~fanouts p root f =
+  let nodes = p.Pattern.nodes in
+  let n = Array.length nodes in
+  let binding = Array.make n (-1) in
+  let bound_to = Hashtbl.create 16 in
+  let injective = match cls with Standard | Exact -> true | Extended -> false in
+  let rec go pid sid k =
+    if binding.(pid) >= 0 then begin
+      (* Shared pattern node (general DAG pattern): the mapping must
+         be a function, so a revisit must agree. *)
+      if binding.(pid) = sid then k ()
+    end
+    else if injective && Hashtbl.mem bound_to sid then ()
+    else begin
+      let fanout_ok =
+        match cls, nodes.(pid) with
+        | Exact, (Pattern.Pinv _ | Pattern.Pnand _) ->
+          pid = p.Pattern.root || fanouts.(sid) = p.Pattern.fanout.(pid)
+        | (Exact | Standard | Extended), _ -> true
+      in
+      if fanout_ok then begin
+        let bind () =
+          binding.(pid) <- sid;
+          if injective then Hashtbl.add bound_to sid pid
+        in
+        let unbind () =
+          binding.(pid) <- -1;
+          if injective then Hashtbl.remove bound_to sid
+        in
+        match nodes.(pid), Subject.kind g sid with
+        | Pattern.Pleaf _, (Spi | Snand _ | Sinv _) ->
+          bind ();
+          k ();
+          unbind ()
+        | Pattern.Pinv c, Sinv x ->
+          bind ();
+          go c x k;
+          unbind ()
+        | Pattern.Pnand (a, b), Snand (x, y) ->
+          bind ();
+          go a x (fun () -> go b y k);
+          if x <> y then go a y (fun () -> go b x k);
+          unbind ()
+        | (Pattern.Pinv _ | Pattern.Pnand _), _ -> ()
+      end
+    end
+  in
+  let seen = Hashtbl.create 4 in
+  let emit () =
+    let pins = Array.make (Gate.num_pins p.Pattern.gate) (-1) in
+    Array.iteri
+      (fun i pin -> if pin >= 0 then pins.(pin) <- binding.(i))
+      p.Pattern.pin_of_leaf;
+    (* Symmetric patterns can reach the same pin binding through
+       different internal assignments; report each binding once. *)
+    let key = Array.to_list pins in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      let covered = ref [] in
+      Array.iteri
+        (fun i pn ->
+          match pn with
+          | Pattern.Pleaf _ -> ()
+          | Pattern.Pinv _ | Pattern.Pnand _ -> covered := binding.(i) :: !covered)
+        nodes;
+      let covered = Array.of_list (List.sort_uniq compare !covered) in
+      f { pattern = p; pins; covered }
+    end
+  in
+  go p.Pattern.root root emit
+
+let matches cls g ~fanouts p root =
+  let acc = ref [] in
+  for_each_match cls g ~fanouts p root (fun m -> acc := m :: !acc);
+  List.rev !acc
+
+exception Found
+
+let exists_match cls g ~fanouts p root =
+  try
+    for_each_match cls g ~fanouts p root (fun _ -> raise Found);
+    false
+  with Found -> true

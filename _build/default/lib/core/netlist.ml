@@ -1,0 +1,163 @@
+open Dagmap_logic
+open Dagmap_genlib
+open Dagmap_subject
+
+type driver =
+  | D_pi of int
+  | D_gate of int
+  | D_const of bool
+
+type instance = {
+  inst_id : int;
+  gate : Gate.t;
+  inputs : driver array;
+  subject_root : int;
+  covers : int array;
+}
+
+type t = {
+  source : Subject.t;
+  instances : instance array;
+  outputs : (string * driver) list;
+}
+
+let area nl =
+  Array.fold_left (fun acc i -> acc +. i.gate.Gate.area) 0.0 nl.instances
+
+let num_gates nl = Array.length nl.instances
+
+(* Instances are not necessarily stored topologically (cover
+   construction emits them outputs-first), so order them explicitly. *)
+let topological_instances nl =
+  let n = Array.length nl.instances in
+  let state = Array.make n 0 in
+  let order = ref [] in
+  let rec visit i =
+    if state.(i) = 1 then failwith "Netlist: instance cycle";
+    if state.(i) = 0 then begin
+      state.(i) <- 1;
+      Array.iter
+        (function D_gate j -> visit j | D_pi _ | D_const _ -> ())
+        nl.instances.(i).inputs;
+      state.(i) <- 2;
+      order := i :: !order
+    end
+  in
+  for i = 0 to n - 1 do
+    visit i
+  done;
+  List.rev !order
+
+let arrival_times nl =
+  let arrival = Array.make (Array.length nl.instances) 0.0 in
+  List.iter
+    (fun i ->
+      let inst = nl.instances.(i) in
+      let worst = ref 0.0 in
+      Array.iteri
+        (fun pin d ->
+          let input_arrival =
+            match d with
+            | D_pi _ | D_const _ -> 0.0
+            | D_gate j -> arrival.(j)
+          in
+          worst :=
+            Float.max !worst (input_arrival +. Gate.intrinsic_delay inst.gate pin))
+        inst.inputs;
+      arrival.(i) <- !worst)
+    (topological_instances nl);
+  arrival
+
+let driver_arrival arrival = function
+  | D_pi _ | D_const _ -> 0.0
+  | D_gate j -> arrival.(j)
+
+let output_arrivals nl =
+  let arrival = arrival_times nl in
+  List.map (fun (name, d) -> (name, driver_arrival arrival d)) nl.outputs
+
+let delay nl =
+  List.fold_left (fun acc (_, a) -> Float.max acc a) 0.0 (output_arrivals nl)
+
+let gate_histogram nl =
+  let counts = Hashtbl.create 16 in
+  Array.iter
+    (fun i ->
+      let name = i.gate.Gate.gate_name in
+      Hashtbl.replace counts name (1 + Option.value ~default:0 (Hashtbl.find_opt counts name)))
+    nl.instances;
+  Hashtbl.fold (fun name c acc -> (name, c) :: acc) counts []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let duplication nl =
+  let distinct = Hashtbl.create 64 in
+  let total = ref 0 in
+  Array.iter
+    (fun i ->
+      total := !total + Array.length i.covers;
+      Array.iter (fun node -> Hashtbl.replace distinct node ()) i.covers)
+    nl.instances;
+  !total - Hashtbl.length distinct
+
+let eval nl assignment =
+  let pi_value = Hashtbl.create 16 in
+  List.iteri
+    (fun order id -> Hashtbl.replace pi_value id assignment.(order))
+    (Subject.pi_ids nl.source);
+  let value = Array.make (Array.length nl.instances) false in
+  let driver_value = function
+    | D_const b -> b
+    | D_pi id -> Hashtbl.find pi_value id
+    | D_gate j -> value.(j)
+  in
+  List.iter
+    (fun i ->
+      let inst = nl.instances.(i) in
+      let inputs = Array.map driver_value inst.inputs in
+      value.(i) <- Truth.eval inst.gate.Gate.func inputs)
+    (topological_instances nl);
+  List.map (fun (name, d) -> (name, driver_value d)) nl.outputs
+
+let max_fanout nl =
+  let counts = Hashtbl.create 64 in
+  let bump d =
+    match d with
+    | D_const _ -> ()
+    | D_pi _ | D_gate _ ->
+      Hashtbl.replace counts d (1 + Option.value ~default:0 (Hashtbl.find_opt counts d))
+  in
+  Array.iter (fun i -> Array.iter bump i.inputs) nl.instances;
+  List.iter (fun (_, d) -> bump d) nl.outputs;
+  Hashtbl.fold (fun _ c acc -> max c acc) counts 0
+
+let validate nl =
+  let n = Array.length nl.instances in
+  let pi_set = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace pi_set id ()) (Subject.pi_ids nl.source);
+  let check_driver context = function
+    | D_const _ -> ()
+    | D_pi id ->
+      if not (Hashtbl.mem pi_set id) then
+        failwith (Printf.sprintf "%s: D_pi %d is not a subject PI" context id)
+    | D_gate j ->
+      if j < 0 || j >= n then
+        failwith (Printf.sprintf "%s: D_gate %d out of range" context j)
+  in
+  Array.iteri
+    (fun idx inst ->
+      if inst.inst_id <> idx then failwith "Netlist: inst_id mismatch";
+      if Array.length inst.inputs <> Gate.num_pins inst.gate then
+        failwith
+          (Printf.sprintf "instance %d (%s): pin count mismatch" idx
+             inst.gate.Gate.gate_name);
+      Array.iter (check_driver (Printf.sprintf "instance %d" idx)) inst.inputs)
+    nl.instances;
+  List.iter (fun (name, d) -> check_driver ("output " ^ name) d) nl.outputs;
+  ignore (topological_instances nl)
+
+let pp_report ppf nl =
+  Format.fprintf ppf "gates=%d area=%.0f delay=%.2f duplicated=%d@\n"
+    (num_gates nl) (area nl) (delay nl) (duplication nl);
+  List.iter
+    (fun (name, c) -> Format.fprintf ppf "  %-12s %d@\n" name c)
+    (gate_histogram nl)

@@ -1,0 +1,1 @@
+lib/cutmap/boolean_match.ml: Array Dagmap_genlib Dagmap_logic Gate Hashtbl Libraries List Npn Option Printf String Truth

@@ -1,0 +1,1 @@
+lib/cutmap/boolean_match.mli: Dagmap_genlib Dagmap_logic Gate Libraries Truth

@@ -1,0 +1,1 @@
+lib/cutmap/cut_mapper.ml: Array Boolean_match Cuts Dagmap_core Dagmap_genlib Dagmap_logic Dagmap_subject Float Gate Hashtbl List Mapper Netlist Printf Queue Subject Truth

@@ -1,0 +1,1 @@
+lib/cutmap/cut_mapper.mli: Boolean_match Cuts Dagmap_core Dagmap_subject Netlist Subject

@@ -1,0 +1,1 @@
+lib/cutmap/cuts.ml: Array Dagmap_logic Dagmap_subject Hashtbl Int64 List Random Subject Truth

@@ -1,0 +1,1 @@
+lib/cutmap/cuts.mli: Dagmap_logic Dagmap_subject Subject Truth

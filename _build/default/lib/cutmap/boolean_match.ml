@@ -1,0 +1,76 @@
+open Dagmap_logic
+open Dagmap_genlib
+
+type entry = {
+  gate : Gate.t;
+  pin_of_input : int array;
+}
+
+type t = {
+  table : (string, entry list) Hashtbl.t;  (* truth hex -> entries *)
+  mutable count : int;
+}
+
+let key tt = Printf.sprintf "%d:%s" (Truth.num_vars tt) (Truth.to_hex tt)
+
+let add db tt entry =
+  let k = key tt in
+  let existing = Option.value ~default:[] (Hashtbl.find_opt db.table k) in
+  (* Keep one entry per gate per function; different wirings of the
+     same gate to the same function are interchangeable. *)
+  if
+    not
+      (List.exists
+         (fun e ->
+           String.equal e.gate.Gate.gate_name entry.gate.Gate.gate_name)
+         existing)
+  then begin
+    Hashtbl.replace db.table k (entry :: existing);
+    db.count <- db.count + 1
+  end
+
+let prepare ?(max_arity = 6) lib =
+  let db = { table = Hashtbl.create 1024; count = 0 } in
+  List.iter
+    (fun gate ->
+      let p = Gate.num_pins gate in
+      if p >= 1 && p <= max_arity && Gate.is_constant gate = None then
+        List.iter
+          (fun (variant, perm) ->
+            (* variant = func permuted so original pin i feeds input
+               position perm.(i); hence input position j is fed by
+               pin with perm(pin) = j. *)
+            let pin_of_input = Array.make p 0 in
+            Array.iteri (fun pin pos -> pin_of_input.(pos) <- pin) perm;
+            add db variant { gate; pin_of_input })
+          (Npn.p_variants gate.Gate.func))
+    lib.Libraries.gates;
+  db
+
+let lookup db tt =
+  Option.value ~default:[] (Hashtbl.find_opt db.table (key tt))
+
+let num_entries db = db.count
+
+let max_arity db =
+  Hashtbl.fold
+    (fun k _ acc ->
+      match String.index_opt k ':' with
+      | None -> acc
+      | Some i -> max acc (int_of_string (String.sub k 0 i)))
+    db.table 1
+
+let arity_histogram db =
+  let counts = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun k entries ->
+      match String.index_opt k ':' with
+      | None -> ()
+      | Some i ->
+        let arity = int_of_string (String.sub k 0 i) in
+        Hashtbl.replace counts arity
+          (List.length entries
+          + Option.value ~default:0 (Hashtbl.find_opt counts arity)))
+    db.table;
+  Hashtbl.fold (fun a c acc -> (a, c) :: acc) counts []
+  |> List.sort compare

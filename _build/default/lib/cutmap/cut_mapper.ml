@@ -1,0 +1,202 @@
+open Dagmap_logic
+open Dagmap_genlib
+open Dagmap_subject
+open Dagmap_core
+
+type choice = {
+  cut : Cuts.cut;
+  entry : Boolean_match.entry;
+}
+
+type result = {
+  netlist : Netlist.t;
+  labels : float array;
+  chosen : choice option array;
+  matched_nodes : int;
+}
+
+let choice_arrival labels (c : choice) =
+  let gate = c.entry.Boolean_match.gate in
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun j leaf ->
+      let pin = c.entry.Boolean_match.pin_of_input.(j) in
+      worst := Float.max !worst (labels.(leaf) +. Gate.intrinsic_delay gate pin))
+    c.cut.Cuts.leaves;
+  !worst
+
+let map ?(k = 5) ?(priority = 50) db g =
+  (* Cuts wider than the widest library gate can never match. *)
+  let k = max 2 (min k (Boolean_match.max_arity db)) in
+  let n = Subject.num_nodes g in
+  let levels = Subject.levels g in
+  let labels = Array.make n 0.0 in
+  let chosen : choice option array = Array.make n None in
+  let const_node : bool option array = Array.make n None in
+  let matched = ref 0 in
+  (* Enumeration is interleaved with labeling so priority pruning can
+     rank cuts by what they actually achieve: a matched cut ranks by
+     its realized arrival; an unmatched cut (still useful as a
+     building block for wider parent cuts) ranks by its worst leaf
+     label plus a penalty that sorts it behind matched cuts of
+     similar depth. *)
+  let stored : Cuts.cut list array = Array.make n [] in
+  let unmatched_penalty =
+    (* roughly one gate delay *)
+    1.0
+  in
+  for node = 0 to n - 1 do
+    match Subject.kind g node with
+    | Spi ->
+      labels.(node) <- 0.0;
+      stored.(node) <- [ Cuts.trivial ~levels node ]
+    | Snand _ | Sinv _ ->
+      let merged = Cuts.merged_for_node ~k ~levels g node stored in
+      (* Evaluate every merged cut once; remember its best match. *)
+      let evaluated =
+        List.map
+          (fun (cut : Cuts.cut) ->
+            match Truth.is_const cut.Cuts.func with
+            | Some b -> (cut, `Const b)
+            | None ->
+              let best = ref None in
+              List.iter
+                (fun entry ->
+                  let c = { cut; entry } in
+                  let arrival = choice_arrival labels c in
+                  let area = entry.Boolean_match.gate.Gate.area in
+                  match !best with
+                  | Some (a, ar, _) when arrival > a +. 1e-12 || (arrival > a -. 1e-12 && area >= ar) -> ()
+                  | Some _ | None -> best := Some (arrival, area, c))
+                (Boolean_match.lookup db cut.Cuts.func);
+              (match !best with
+               | Some (arrival, area, c) -> (cut, `Matched (arrival, area, c))
+               | None ->
+                 let worst = ref 0.0 in
+                 Array.iter
+                   (fun l -> worst := Float.max !worst labels.(l))
+                   cut.Cuts.leaves;
+                 (cut, `Unmatched !worst)))
+          merged
+      in
+      let score = function
+        | _, `Const _ -> (neg_infinity, 0)
+        | cut, `Matched (arrival, _, _) -> (arrival, Array.length cut.Cuts.leaves)
+        | cut, `Unmatched worst ->
+          (worst +. unmatched_penalty, Array.length cut.Cuts.leaves)
+      in
+      let sorted =
+        List.sort (fun a b -> compare (score a) (score b)) evaluated
+      in
+      let rec take n = function
+        | [] -> []
+        | _ when n <= 0 -> []
+        | x :: rest -> x :: take (n - 1) rest
+      in
+      let kept = take priority sorted in
+      (* Always retain the direct-fanin fallback cut. *)
+      let fanin_leaves =
+        Array.of_list (List.sort_uniq compare (Subject.fanins g node))
+      in
+      let kept =
+        if
+          List.exists
+            (fun (c, _) ->
+              Array.for_all (fun l -> Array.mem l fanin_leaves) c.Cuts.leaves)
+            kept
+        then kept
+        else
+          kept
+          @ List.filter
+              (fun (c, _) -> c.Cuts.leaves = fanin_leaves)
+              evaluated
+      in
+      stored.(node) <-
+        List.map fst kept @ [ Cuts.trivial ~levels node ];
+      (* Label from the best evaluated entry (search all, not just
+         kept, so the label is as tight as the cut set allows). *)
+      let best = ref None in
+      List.iter
+        (fun e ->
+          match e with
+          | _, `Const b ->
+            const_node.(node) <- Some b;
+            labels.(node) <- 0.0
+          | _, `Matched (arrival, area, c) -> begin
+            match !best with
+            | Some (a, ar, _) when arrival > a +. 1e-12 || (arrival > a -. 1e-12 && area >= ar) -> ()
+            | Some _ | None -> best := Some (arrival, area, c)
+          end
+          | _, `Unmatched _ -> ())
+        evaluated;
+      (match !best, const_node.(node) with
+       | Some (arrival, _, c), None ->
+         chosen.(node) <- Some c;
+         labels.(node) <- arrival;
+         incr matched
+       | _, Some _ -> ()
+       | None, None ->
+         raise
+           (Mapper.Unmappable
+              { node;
+                description =
+                  Printf.sprintf
+                    "no Boolean match for any cut of subject node %d" node }))
+  done;
+  (* Cover construction with free duplication, as in the paper. *)
+  let needed = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let require node =
+    match Subject.kind g node with
+    | Spi -> ()
+    | Snand _ | Sinv _ ->
+      if const_node.(node) = None && not (Hashtbl.mem needed node) then begin
+        Hashtbl.add needed node ();
+        Queue.add node queue
+      end
+  in
+  List.iter (fun o -> require o.Subject.out_node) g.Subject.outputs;
+  let picked = ref [] in
+  while not (Queue.is_empty queue) do
+    let node = Queue.pop queue in
+    match chosen.(node) with
+    | None -> assert false
+    | Some c ->
+      picked := (node, c) :: !picked;
+      Array.iter require c.cut.Cuts.leaves
+  done;
+  let index = Hashtbl.create 64 in
+  List.iteri (fun i (node, _) -> Hashtbl.replace index node i) !picked;
+  let driver_of node =
+    match const_node.(node) with
+    | Some b -> Netlist.D_const b
+    | None -> begin
+      match Subject.kind g node with
+      | Spi -> Netlist.D_pi node
+      | Snand _ | Sinv _ -> Netlist.D_gate (Hashtbl.find index node)
+    end
+  in
+  let instances =
+    Array.of_list
+      (List.mapi
+         (fun i (node, c) ->
+           let gate = c.entry.Boolean_match.gate in
+           let inputs = Array.make (Gate.num_pins gate) (Netlist.D_const false) in
+           Array.iteri
+             (fun j leaf ->
+               inputs.(c.entry.Boolean_match.pin_of_input.(j)) <- driver_of leaf)
+             c.cut.Cuts.leaves;
+           let covers = Array.of_list (Cuts.cut_cone g node c.cut) in
+           { Netlist.inst_id = i; gate; inputs; subject_root = node; covers })
+         !picked)
+  in
+  let outputs =
+    List.map
+      (fun o -> (o.Subject.out_name, driver_of o.Subject.out_node))
+      g.Subject.outputs
+    @ List.map (fun (name, b) -> (name, Netlist.D_const b)) g.Subject.const_outputs
+  in
+  { netlist = { Netlist.source = g; instances; outputs };
+    labels;
+    chosen;
+    matched_nodes = !matched }

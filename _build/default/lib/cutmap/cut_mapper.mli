@@ -1,0 +1,35 @@
+(** Cut-based delay-oriented technology mapping with Boolean
+    matching — the modern (ABC-style) engine, built here as a
+    comparison point for the paper's structural DAG covering.
+
+    Like the paper's algorithm it labels nodes in topological order
+    and covers backward from the outputs with free duplication; the
+    difference is the match generator: bounded priority-cut
+    enumeration plus exact Boolean matching instead of pattern-graph
+    matching. Because the cut set is pruned (priority cuts), the
+    result is a strong heuristic rather than delay-optimal; the
+    benchmark harness compares both engines. *)
+
+open Dagmap_subject
+open Dagmap_core
+
+type choice = {
+  cut : Cuts.cut;
+  entry : Boolean_match.entry;
+}
+
+type result = {
+  netlist : Netlist.t;
+  labels : float array;
+  chosen : choice option array;   (** per needed subject node *)
+  matched_nodes : int;            (** nodes with a non-fallback match *)
+}
+
+val map :
+  ?k:int -> ?priority:int -> Boolean_match.t -> Subject.t -> result
+(** [map db g] maps [g]; [k] (default 5, clamped to the library's
+    widest matchable gate) bounds cut width, [priority] (default 50)
+    bounds cuts kept per node — quality converges to the structural
+    mapper's as the budget grows (the harness sweeps this). Raises
+    [Mapper.Unmappable] if some node has no matchable cut (cannot
+    happen when the library contains INV and NAND2). *)

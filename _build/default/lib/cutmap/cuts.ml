@@ -1,0 +1,215 @@
+open Dagmap_logic
+open Dagmap_subject
+
+type cut = {
+  leaves : int array;
+  func : Truth.t;
+  depth : int;
+}
+
+let is_trivial c = Array.length c.leaves = 1 && Truth.equal c.func (Truth.var 1 0)
+
+(* Sorted-array union; None if the union exceeds [k]. *)
+let union_leaves k a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (la + lb) 0 in
+  let rec go i j n =
+    if n > k then None
+    else if i = la && j = lb then Some (Array.sub out 0 n)
+    else if i = la then begin
+      out.(n) <- b.(j);
+      go i (j + 1) (n + 1)
+    end
+    else if j = lb then begin
+      out.(n) <- a.(i);
+      go (i + 1) j (n + 1)
+    end
+    else if a.(i) = b.(j) then begin
+      out.(n) <- a.(i);
+      go (i + 1) (j + 1) (n + 1)
+    end
+    else if a.(i) < b.(j) then begin
+      out.(n) <- a.(i);
+      go (i + 1) j (n + 1)
+    end
+    else begin
+      out.(n) <- b.(j);
+      go i (j + 1) (n + 1)
+    end
+  in
+  go 0 0 0
+
+(* Position of each element of [sub] within [super] (both sorted). *)
+let placement sub super =
+  Array.map
+    (fun x ->
+      let rec find i = if super.(i) = x then i else find (i + 1) in
+      find 0)
+    sub
+
+(* Shrink a cut to the function's true support. *)
+let shrink leaves func depth_of =
+  let support = Truth.support func in
+  if List.length support = Array.length leaves then
+    (leaves, func)
+  else begin
+    let kept = Array.of_list support in
+    let leaves' = Array.map (fun i -> leaves.(i)) kept in
+    let func' = Truth.project func kept in
+    ignore depth_of;
+    (leaves', func')
+  end
+
+let cut_depth levels leaves =
+  Array.fold_left (fun acc l -> max acc levels.(l)) 0 leaves
+
+(* Priority selection under a caller-supplied rank; the direct-fanin
+   cut is always retained as the mapper's fallback. Note the fanin
+   cut may have been support-shrunk (redundant nodes), in which case
+   the shrunk form is what gets retained. *)
+let keep ~priority ~rank ~fanins merged =
+  let fanin_leaves = Array.of_list (List.sort_uniq compare fanins) in
+  let is_fanin_derived c =
+    (* the cut obtained from the trivial fanin cuts, possibly shrunk *)
+    Array.for_all (fun l -> Array.mem l fanin_leaves) c.leaves
+    && Array.length c.leaves <= Array.length fanin_leaves
+    && (c.leaves = fanin_leaves || Array.length c.leaves < Array.length fanin_leaves)
+  in
+  let sorted =
+    List.sort (fun a b -> compare (rank a) (rank b)) merged
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | c :: rest -> c :: take (n - 1) rest
+  in
+  let kept = take priority sorted in
+  if List.exists (fun c -> c.leaves = fanin_leaves) kept then kept
+  else
+    match List.filter (fun c -> c.leaves = fanin_leaves) merged with
+    | [] ->
+      (* the fanin cut shrank; keep its shrunk descendant *)
+      (match List.filter is_fanin_derived merged with
+       | [] -> kept
+       | shrunk -> kept @ [ List.hd shrunk ])
+    | fanin_cuts -> kept @ [ List.hd fanin_cuts ]
+
+let select ~priority ~fanins merged =
+  keep ~priority
+    ~rank:(fun c -> (float_of_int c.depth, Array.length c.leaves))
+    ~fanins merged
+
+let trivial ~levels node =
+  { leaves = [| node |]; func = Truth.var 1 0; depth = levels.(node) }
+
+(* Merge the cut lists of the fanins through the node's operator. *)
+let merged_generic ~k levels combine fanin_cuts =
+  let mk leaves func =
+    let leaves, func = shrink leaves func levels in
+    { leaves; func; depth = cut_depth levels leaves }
+  in
+  let results = Hashtbl.create 32 in
+  let add c =
+    let key = Array.to_list c.leaves in
+    if not (Hashtbl.mem results key) then Hashtbl.add results key c
+  in
+  (match fanin_cuts with
+   | [ cx ] ->
+     List.iter
+       (fun (c : cut) -> add (mk c.leaves (combine [| c.func |])))
+       cx
+   | [ cx; cy ] ->
+     List.iter
+       (fun (c1 : cut) ->
+         List.iter
+           (fun (c2 : cut) ->
+             match union_leaves k c1.leaves c2.leaves with
+             | None -> ()
+             | Some leaves ->
+               let w = Array.length leaves in
+               let f1 = Truth.expand c1.func w (placement c1.leaves leaves) in
+               let f2 = Truth.expand c2.func w (placement c2.leaves leaves) in
+               add (mk leaves (combine [| f1; f2 |])))
+           cy)
+       cx
+   | _ -> invalid_arg "Cuts: arity");
+  Hashtbl.fold (fun _ c acc -> c :: acc) results []
+
+let merged_for_node ~k ~levels g node stored =
+  match Subject.kind g node with
+  | Spi -> invalid_arg "Cuts.merged_for_node: PI"
+  | Sinv x ->
+    merged_generic ~k levels (fun fs -> Truth.lognot fs.(0)) [ stored.(x) ]
+  | Snand (x, y) ->
+    merged_generic ~k levels
+      (fun fs -> Truth.lognand fs.(0) fs.(1))
+      [ stored.(x); stored.(y) ]
+
+let enumerate ?(k = 5) ?(priority = 8) g =
+  if k < 2 || k > 6 then invalid_arg "Cuts.enumerate: k must be in 2..6";
+  let n = Subject.num_nodes g in
+  let levels = Subject.levels g in
+  let cuts = Array.make n [] in
+  for node = 0 to n - 1 do
+    match Subject.kind g node with
+    | Spi -> cuts.(node) <- [ trivial ~levels node ]
+    | Sinv x ->
+      let merged = merged_for_node ~k ~levels g node cuts in
+      cuts.(node) <-
+        select ~priority ~fanins:[ x ] merged @ [ trivial ~levels node ]
+    | Snand (x, y) ->
+      let merged = merged_for_node ~k ~levels g node cuts in
+      cuts.(node) <-
+        select ~priority ~fanins:[ x; y ] merged @ [ trivial ~levels node ]
+  done;
+  cuts
+
+let cut_cone g node c =
+  let leaf = Hashtbl.create 8 in
+  Array.iter (fun l -> Hashtbl.replace leaf l ()) c.leaves;
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec visit u =
+    if (not (Hashtbl.mem leaf u)) && not (Hashtbl.mem seen u) then begin
+      Hashtbl.replace seen u ();
+      List.iter visit (Subject.fanins g u);
+      acc := u :: !acc
+    end
+  in
+  visit node;
+  !acc
+
+let check ?(rounds = 16) g node c =
+  let pis = Subject.pi_ids g in
+  let n_pi = List.length pis in
+  let st = Random.State.make [| 0xc07; node |] in
+  let ok = ref true in
+  let one_round words =
+    (* Word-parallel subject simulation. *)
+    let value = Array.make (Subject.num_nodes g) 0L in
+    List.iteri (fun i id -> value.(id) <- words.(i)) pis;
+    for u = 0 to Subject.num_nodes g - 1 do
+      match Subject.kind g u with
+      | Subject.Spi -> ()
+      | Subject.Sinv x -> value.(u) <- Int64.lognot value.(x)
+      | Subject.Snand (x, y) ->
+        value.(u) <- Int64.lognot (Int64.logand value.(x) value.(y))
+    done;
+    for lane = 0 to 63 do
+      let bit w = Int64.logand (Int64.shift_right_logical w lane) 1L = 1L in
+      let leaf_values = Array.map (fun l -> bit value.(l)) c.leaves in
+      if Truth.eval c.func leaf_values <> bit value.(node) then ok := false
+    done
+  in
+  one_round (Array.make (max n_pi 1) 0L);
+  one_round (Array.make (max n_pi 1) (-1L));
+  for _ = 1 to rounds do
+    one_round
+      (Array.init (max n_pi 1) (fun _ ->
+           Int64.logxor
+             (Int64.shift_left (Int64.of_int (Random.State.bits st)) 40)
+             (Int64.logxor
+                (Int64.shift_left (Int64.of_int (Random.State.bits st)) 20)
+                (Int64.of_int (Random.State.bits st)))))
+  done;
+  !ok

@@ -1,0 +1,64 @@
+(** Priority k-feasible cut enumeration with cut functions.
+
+    This is the modern (ABC-style) alternative substrate to pattern
+    matching: instead of matching library structure against the
+    subject graph, enumerate for every node a bounded set of
+    k-feasible cuts together with the Boolean function of the node in
+    terms of the cut leaves, and let a Boolean matcher find gates.
+
+    Cuts are shrunk to their true support and deduplicated; each
+    node's list always contains its trivial cut (the node itself, for
+    use by its fanouts) and always retains the direct-fanin cut, so a
+    downstream mapper can rely on NAND2/INV fallbacks. *)
+
+open Dagmap_logic
+open Dagmap_subject
+
+type cut = {
+  leaves : int array;   (** sorted subject node ids *)
+  func : Truth.t;       (** node function over [leaves] *)
+  depth : int;          (** max unit level among the leaves *)
+}
+
+val is_trivial : cut -> bool
+(** The singleton cut of the node itself. *)
+
+val enumerate : ?k:int -> ?priority:int -> Subject.t -> cut list array
+(** [enumerate g] computes, for every node, its trivial cut plus up
+    to [priority] (default 8) non-trivial cuts of at most [k]
+    (default 5) leaves, best-first by (leaf depth, size). [k] must be
+    between 2 and 6. *)
+
+val trivial : levels:int array -> int -> cut
+(** The singleton cut of a node ([levels] = [Subject.levels]). *)
+
+val merged_for_node :
+  k:int -> levels:int array -> Subject.t -> int -> cut list array -> cut list
+(** All (unpruned, deduplicated, support-shrunk) k-feasible cuts of a
+    non-PI node obtained by merging its fanins' stored cut lists —
+    the building block mappers use to interleave enumeration with
+    labeling so they can prune by arrival rather than by level. *)
+
+val keep :
+  priority:int ->
+  rank:(cut -> float * int) ->
+  fanins:int list ->
+  cut list ->
+  cut list
+(** Keep the [priority] best cuts by the given rank (ascending),
+    always retaining the direct-fanin cut as the fallback. *)
+
+val cut_cone : Subject.t -> int -> cut -> int list
+(** Subject nodes strictly inside the cut (between leaves and root,
+    root included). *)
+
+val check : ?rounds:int -> Subject.t -> int -> cut -> bool
+(** Validate a cut in circuit: over random primary-input vectors
+    (default 16 rounds of 64), the node's simulated value always
+    equals [func] applied to the leaves' simulated values. Note the
+    composed function is only guaranteed on {e feasible} leaf
+    valuations — leaves can be logically correlated (e.g. a signal
+    and its inverse), in which case the table's value on infeasible
+    assignments is an artifact of the composition, exactly as in
+    conventional cut-based mappers. Mapping correctness only needs
+    the feasible ones, which is what this checks. *)

@@ -1,0 +1,1 @@
+lib/flowmap/flowmap.ml: Array Bexpr Dagmap_logic Dagmap_subject Hashtbl List Maxflow Network Printf Queue Subject Truth

@@ -1,0 +1,1 @@
+lib/flowmap/flowmap.mli: Dagmap_logic Dagmap_subject Network Subject Truth

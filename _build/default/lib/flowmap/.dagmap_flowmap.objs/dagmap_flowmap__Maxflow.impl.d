@@ -1,0 +1,1 @@
+lib/flowmap/maxflow.ml: Array Queue

@@ -1,0 +1,128 @@
+(* Adjacency-list residual graph. Edges are stored in a flat array;
+   edge i and its residual partner are paired as (i, i lxor 1). *)
+
+type t = {
+  n : int;
+  mutable heads : int array array;   (* vertex -> edge indices, built lazily *)
+  mutable edges_to : int list array; (* temporary adjacency during build *)
+  mutable edge_dst : int array;
+  mutable edge_cap : int array;
+  mutable edge_count : int;
+  mutable built : bool;
+}
+
+let infinite = max_int / 4
+
+let create n =
+  { n;
+    heads = [||];
+    edges_to = Array.make n [];
+    edge_dst = Array.make 16 0;
+    edge_cap = Array.make 16 0;
+    edge_count = 0;
+    built = false }
+
+let ensure_capacity net k =
+  let len = Array.length net.edge_dst in
+  if k > len then begin
+    let len' = max k (2 * len) in
+    let dst = Array.make len' 0 and cap = Array.make len' 0 in
+    Array.blit net.edge_dst 0 dst 0 net.edge_count;
+    Array.blit net.edge_cap 0 cap 0 net.edge_count;
+    net.edge_dst <- dst;
+    net.edge_cap <- cap
+  end
+
+let add_edge net u v capacity =
+  if net.built then invalid_arg "Maxflow.add_edge after solving";
+  ensure_capacity net (net.edge_count + 2);
+  let e = net.edge_count in
+  net.edge_dst.(e) <- v;
+  net.edge_cap.(e) <- capacity;
+  net.edge_dst.(e + 1) <- u;
+  net.edge_cap.(e + 1) <- 0;
+  net.edges_to.(u) <- e :: net.edges_to.(u);
+  net.edges_to.(v) <- (e + 1) :: net.edges_to.(v);
+  net.edge_count <- e + 2
+
+let build net =
+  if not net.built then begin
+    net.heads <- Array.map (fun l -> Array.of_list l) net.edges_to;
+    net.built <- true
+  end
+
+(* One BFS augmenting step; returns true if an augmenting path was
+   found and pushed (all edges here have capacity 1 effectively, but
+   we push the bottleneck for generality). *)
+let augment net ~source ~sink =
+  let parent_edge = Array.make net.n (-1) in
+  let visited = Array.make net.n false in
+  visited.(source) <- true;
+  let q = Queue.create () in
+  Queue.add source q;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun e ->
+        let v = net.edge_dst.(e) in
+        if (not visited.(v)) && net.edge_cap.(e) > 0 then begin
+          visited.(v) <- true;
+          parent_edge.(v) <- e;
+          if v = sink then found := true else Queue.add v q
+        end)
+      net.heads.(u)
+  done;
+  if not !found then 0
+  else begin
+    (* bottleneck *)
+    let rec bottleneck v acc =
+      if v = source then acc
+      else
+        let e = parent_edge.(v) in
+        bottleneck net.edge_dst.(e lxor 1) (min acc net.edge_cap.(e))
+    in
+    let flow = bottleneck sink infinite in
+    let rec push v =
+      if v <> source then begin
+        let e = parent_edge.(v) in
+        net.edge_cap.(e) <- net.edge_cap.(e) - flow;
+        net.edge_cap.(e lxor 1) <- net.edge_cap.(e lxor 1) + flow;
+        push net.edge_dst.(e lxor 1)
+      end
+    in
+    push sink;
+    flow
+  end
+
+let max_flow_bounded net ~source ~sink ~bound =
+  build net;
+  let total = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    if !total > bound then continue_ := false
+    else begin
+      let pushed = augment net ~source ~sink in
+      if pushed = 0 then continue_ := false else total := !total + pushed
+    end
+  done;
+  min !total (bound + 1)
+
+let min_cut_side net ~source =
+  build net;
+  let side = Array.make net.n false in
+  side.(source) <- true;
+  let q = Queue.create () in
+  Queue.add source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun e ->
+        let v = net.edge_dst.(e) in
+        if (not side.(v)) && net.edge_cap.(e) > 0 then begin
+          side.(v) <- true;
+          Queue.add v q
+        end)
+      net.heads.(u)
+  done;
+  side

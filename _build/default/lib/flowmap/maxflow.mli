@@ -1,0 +1,26 @@
+(** Unit-capacity max-flow on node-split graphs, as needed by the
+    FlowMap labeling procedure (Cong & Ding). Augmenting paths are
+    found by BFS; the search stops as soon as the flow exceeds a
+    caller-provided bound, which is all FlowMap needs to decide
+    k-feasibility. *)
+
+type t
+
+val create : int -> t
+(** [create n] prepares a flow network with vertices [0 .. n-1]. *)
+
+val add_edge : t -> int -> int -> int -> unit
+(** [add_edge net u v capacity] adds a directed edge (with a residual
+    reverse edge of capacity 0). Use {!infinite} for uncapacitated
+    edges. *)
+
+val infinite : int
+
+val max_flow_bounded : t -> source:int -> sink:int -> bound:int -> int
+(** Maximum flow from [source] to [sink], but stop and return
+    [bound + 1] as soon as the flow exceeds [bound]. *)
+
+val min_cut_side : t -> source:int -> bool array
+(** After {!max_flow_bounded}, the set of vertices reachable from
+    [source] in the residual graph — the source side of a minimum
+    cut. *)

@@ -1,0 +1,1 @@
+lib/genlib/gate.ml: Array Bexpr Dagmap_logic Float Format Printf Truth

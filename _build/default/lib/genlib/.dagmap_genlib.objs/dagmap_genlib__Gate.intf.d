@@ -1,0 +1,1 @@
+lib/genlib/gate.mli: Bexpr Dagmap_logic Format Truth

@@ -1,0 +1,1 @@
+lib/genlib/genlib_parser.ml: Array Bexpr Buffer Dagmap_logic Gate List Printf String

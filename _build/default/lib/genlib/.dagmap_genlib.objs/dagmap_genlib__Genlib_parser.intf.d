@@ -1,0 +1,1 @@
+lib/genlib/genlib_parser.mli: Gate

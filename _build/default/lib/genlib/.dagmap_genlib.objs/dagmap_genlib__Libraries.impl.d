@@ -1,0 +1,1 @@
+lib/genlib/libraries.ml: Array Bexpr Dagmap_logic Gate Genlib_parser List Pattern Printf

@@ -1,0 +1,1 @@
+lib/genlib/libraries.mli: Gate Pattern

@@ -1,0 +1,1 @@
+lib/genlib/pattern.ml: Array Bexpr Dagmap_logic Format Gate Hashtbl List Truth

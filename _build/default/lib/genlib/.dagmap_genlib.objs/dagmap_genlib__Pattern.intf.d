@@ -1,0 +1,1 @@
+lib/genlib/pattern.mli: Dagmap_logic Format Gate Truth

@@ -1,0 +1,74 @@
+open Dagmap_logic
+
+type phase = Inv | Noninv | Unknown
+
+type pin = {
+  pin_name : string;
+  phase : phase;
+  input_load : float;
+  max_load : float;
+  rise_block : float;
+  rise_fanout : float;
+  fall_block : float;
+  fall_fanout : float;
+}
+
+type t = {
+  gate_name : string;
+  area : float;
+  output_name : string;
+  expr : Bexpr.t;
+  pins : pin array;
+  func : Truth.t;
+}
+
+let make ~name ~area ?(output_name = "O") ~pins expr =
+  if Bexpr.num_vars expr > Array.length pins then
+    invalid_arg
+      (Printf.sprintf "Gate.make %s: formula references pin %d but only %d pins"
+         name (Bexpr.num_vars expr - 1) (Array.length pins));
+  if Array.length pins > Truth.max_vars then
+    invalid_arg (Printf.sprintf "Gate.make %s: too many pins" name);
+  let func = Bexpr.to_truth (Array.length pins) expr in
+  { gate_name = name; area; output_name; expr; pins; func }
+
+let simple_pin ?(delay = 1.0) ?(load = 1.0) pin_name =
+  { pin_name; phase = Unknown; input_load = load; max_load = 999.0;
+    rise_block = delay; rise_fanout = 0.0; fall_block = delay;
+    fall_fanout = 0.0 }
+
+let num_pins g = Array.length g.pins
+
+let intrinsic_delay g i =
+  let p = g.pins.(i) in
+  Float.max p.rise_block p.fall_block
+
+let max_intrinsic_delay g =
+  let d = ref 0.0 in
+  for i = 0 to num_pins g - 1 do
+    d := Float.max !d (intrinsic_delay g i)
+  done;
+  !d
+
+let is_inverter g =
+  num_pins g = 1 && Truth.equal g.func (Truth.lognot (Truth.var 1 0))
+
+let is_buffer g = num_pins g = 1 && Truth.equal g.func (Truth.var 1 0)
+
+let is_constant g = Truth.is_const g.func
+
+let pp ppf g =
+  let names i = g.pins.(i).pin_name in
+  Format.fprintf ppf "GATE %s %g %s=%s;" g.gate_name g.area g.output_name
+    (Bexpr.to_string ~names g.expr);
+  Array.iter
+    (fun p ->
+      let phase =
+        match p.phase with Inv -> "INV" | Noninv -> "NONINV" | Unknown -> "UNKNOWN"
+      in
+      Format.fprintf ppf "@\nPIN %s %s %g %g %g %g %g %g" p.pin_name phase
+        p.input_load p.max_load p.rise_block p.rise_fanout p.fall_block
+        p.fall_fanout)
+    g.pins
+
+let to_genlib_string g = Format.asprintf "%a" pp g

@@ -1,0 +1,63 @@
+(** Library gates in the style of MCNC [genlib].
+
+    A gate has a name, an area, a single output computed by a Boolean
+    formula over its input pins, and per-pin timing data. Following
+    the paper (footnote 4) the delay model is load-independent: only
+    the block (intrinsic) delays are used by the mappers; the
+    load-dependent coefficients are carried for completeness. *)
+
+open Dagmap_logic
+
+type phase = Inv | Noninv | Unknown
+
+type pin = {
+  pin_name : string;
+  phase : phase;
+  input_load : float;
+  max_load : float;
+  rise_block : float;
+  rise_fanout : float;
+  fall_block : float;
+  fall_fanout : float;
+}
+
+type t = private {
+  gate_name : string;
+  area : float;
+  output_name : string;
+  expr : Bexpr.t;          (** over pin indices *)
+  pins : pin array;
+  func : Truth.t;          (** over pin indices *)
+}
+
+val make :
+  name:string ->
+  area:float ->
+  ?output_name:string ->
+  pins:pin array ->
+  Bexpr.t ->
+  t
+(** Build a gate; the expression's variables must be within the pin
+    array. Raises [Invalid_argument] otherwise. *)
+
+val simple_pin : ?delay:float -> ?load:float -> string -> pin
+(** A pin whose rise and fall block delays both equal [delay]
+    (default 1.0) with unit input load and no fanout coefficient. *)
+
+val num_pins : t -> int
+
+val intrinsic_delay : t -> int -> float
+(** Worst (max of rise/fall) block delay from pin [i] to the output. *)
+
+val max_intrinsic_delay : t -> float
+(** Max over all pins. *)
+
+val is_inverter : t -> bool
+val is_buffer : t -> bool
+val is_constant : t -> bool option
+(** [Some b] when the gate output is the constant [b]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Genlib-syntax rendering ([GATE] line plus [PIN] lines). *)
+
+val to_genlib_string : t -> string

@@ -1,0 +1,23 @@
+(** Parser for the MCNC [genlib] standard-cell library format.
+
+    Supported syntax (per the SIS manual):
+    {v
+    GATE <name> <area> <output>=<formula>;
+    PIN <pin-name|*> <phase> <input-load> <max-load>
+        <rise-block> <rise-fanout> <fall-block> <fall-fanout>
+    v}
+    [#] starts a comment to end of line. [LATCH] blocks and their
+    [SEQ]/[CONTROL]/[CONSTRAINT] lines are recognized and skipped
+    (this reproduction maps combinational logic; latches are handled
+    structurally by the retiming layer). A [PIN *] line applies to
+    all formula inputs. *)
+
+exception Syntax_error of { line : int; message : string }
+
+val parse_string : string -> Gate.t list
+(** Parse genlib source text. Raises {!Syntax_error}. *)
+
+val parse_file : string -> Gate.t list
+
+val to_string : Gate.t list -> string
+(** Render a library back to genlib syntax. *)

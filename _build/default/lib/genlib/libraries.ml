@@ -1,0 +1,322 @@
+open Dagmap_logic
+
+type t = {
+  lib_name : string;
+  gates : Gate.t list;
+  patterns : Pattern.t list;
+}
+
+let make ?max_shapes lib_name gates =
+  let patterns = List.concat_map (Pattern.of_gate ?max_shapes) gates in
+  { lib_name; gates; patterns }
+
+(* ------------------------------------------------------------------ *)
+(* lib2-like: a conventional standard-cell set, written as genlib     *)
+(* source so the parser is exercised on realistic input.              *)
+(* ------------------------------------------------------------------ *)
+
+let lib2_source = {|
+# lib2-like standard cell library (areas in lambda^2-ish units,
+# delays in ns; load coefficients are ignored by the mappers).
+GATE inv1   928  O=!a;        PIN a INV 1 999 0.50 0.10 0.50 0.10
+GATE inv2  1392  O=!a;        PIN a INV 2 999 0.40 0.05 0.40 0.05
+GATE buf   1392  O=a;         PIN a NONINV 1 999 0.80 0.10 0.80 0.10
+GATE nand2 1392  O=!(a*b);    PIN * INV 1 999 1.00 0.15 1.00 0.15
+GATE nand3 1856  O=!(a*b*c);  PIN * INV 1 999 1.20 0.18 1.20 0.18
+GATE nand4 2320  O=!(a*b*c*d); PIN * INV 1 999 1.40 0.20 1.40 0.20
+GATE nor2  1392  O=!(a+b);    PIN * INV 1 999 1.10 0.20 1.10 0.20
+GATE nor3  1856  O=!(a+b+c);  PIN * INV 1 999 1.40 0.26 1.40 0.26
+GATE nor4  2320  O=!(a+b+c+d); PIN * INV 1 999 1.70 0.30 1.70 0.30
+GATE and2  1856  O=a*b;       PIN * NONINV 1 999 1.30 0.12 1.30 0.12
+GATE and3  2320  O=a*b*c;     PIN * NONINV 1 999 1.50 0.14 1.50 0.14
+GATE and4  2784  O=a*b*c*d;   PIN * NONINV 1 999 1.70 0.16 1.70 0.16
+GATE or2   1856  O=a+b;       PIN * NONINV 1 999 1.35 0.15 1.35 0.15
+GATE or3   2320  O=a+b+c;     PIN * NONINV 1 999 1.60 0.18 1.60 0.18
+GATE or4   2784  O=a+b+c+d;   PIN * NONINV 1 999 1.85 0.20 1.85 0.20
+GATE aoi21 1856  O=!(a*b+c);  PIN * INV 1 999 1.30 0.20 1.30 0.20
+GATE aoi22 2320  O=!(a*b+c*d); PIN * INV 1 999 1.45 0.22 1.45 0.22
+GATE oai21 1856  O=!((a+b)*c); PIN * INV 1 999 1.30 0.20 1.30 0.20
+GATE oai22 2320  O=!((a+b)*(c+d)); PIN * INV 1 999 1.45 0.22 1.45 0.22
+GATE aoi211 2320 O=!(a*b+c+d); PIN * INV 1 999 1.55 0.24 1.55 0.24
+GATE oai211 2320 O=!((a+b)*c*d); PIN * INV 1 999 1.55 0.24 1.55 0.24
+GATE ao22  2784  O=a*b+c*d;   PIN * NONINV 1 999 1.75 0.18 1.75 0.18
+GATE oa22  2784  O=(a+b)*(c+d); PIN * NONINV 1 999 1.75 0.18 1.75 0.18
+GATE xor2  2784  O=a*!b+!a*b; PIN * UNKNOWN 1 999 1.90 0.30 1.90 0.30
+GATE xnor2 2784  O=a*b+!a*!b; PIN * UNKNOWN 1 999 1.90 0.30 1.90 0.30
+GATE mux21 2784  O=s*a+!s*b;  PIN * UNKNOWN 1 999 1.80 0.25 1.80 0.25
+GATE maj3  3248  O=a*b+b*c+a*c; PIN * UNKNOWN 1 999 2.00 0.30 2.00 0.30
+GATE nand2b 1856 O=!(!a*b);   PIN * UNKNOWN 1 999 1.15 0.16 1.15 0.16
+GATE nor2b  1856 O=!(!a+b);   PIN * UNKNOWN 1 999 1.25 0.20 1.25 0.20
+|}
+
+let lib44_1_source = {|
+# 44-1-like: exactly seven gates (INV, NAND2-4, NOR2-4).
+GATE inv   928  O=!a;          PIN a INV 1 999 0.50 0.10 0.50 0.10
+GATE nand2 1392 O=!(a*b);      PIN * INV 1 999 1.00 0.15 1.00 0.15
+GATE nand3 1856 O=!(a*b*c);    PIN * INV 1 999 1.20 0.18 1.20 0.18
+GATE nand4 2320 O=!(a*b*c*d);  PIN * INV 1 999 1.40 0.20 1.40 0.20
+GATE nor2  1392 O=!(a+b);      PIN * INV 1 999 1.10 0.20 1.10 0.20
+GATE nor3  1856 O=!(a+b+c);    PIN * INV 1 999 1.40 0.26 1.40 0.26
+GATE nor4  2320 O=!(a+b+c+d);  PIN * INV 1 999 1.70 0.30 1.70 0.30
+|}
+
+let minimal_source = {|
+GATE inv   928  O=!a;          PIN a INV 1 999 0.50 0.10 0.50 0.10
+GATE nand2 1392 O=!(a*b);      PIN * INV 1 999 1.00 0.15 1.00 0.15
+|}
+
+let lib2_like () = make "lib2" (Genlib_parser.parse_string lib2_source)
+let lib44_1_like () = make "44-1" (Genlib_parser.parse_string lib44_1_source)
+let minimal () = make "minimal" (Genlib_parser.parse_string minimal_source)
+
+(* ------------------------------------------------------------------ *)
+(* 44-3-like: generated complex-gate library.                         *)
+(*                                                                    *)
+(* Gates are alternating NAND trees (and their NOR duals) of depth    *)
+(* up to three with node arity 2..4 and at most 16 leaves — the same  *)
+(* family as MCNC's 44-X libraries ("4-4" = up to four groups of up   *)
+(* to four inputs per level). Pin delays grow with the leaf's depth   *)
+(* inside the gate, so one complex gate is markedly faster than the   *)
+(* equivalent network of simple gates — the property that makes rich  *)
+(* libraries reward DAG covering (paper, Table 3).                    *)
+(* ------------------------------------------------------------------ *)
+
+type gtree = Leaf | Node of gtree list
+
+let rec gtree_leaves = function
+  | Leaf -> 1
+  | Node children -> List.fold_left (fun a c -> a + gtree_leaves c) 0 children
+
+let rec gtree_size = function
+  | Leaf -> 0
+  | Node children -> 1 + List.fold_left (fun a c -> a + gtree_size c) 0 children
+
+let rec gtree_depth = function
+  | Leaf -> 0
+  | Node children -> 1 + List.fold_left (fun a c -> max a (gtree_depth c)) 0 children
+
+(* Canonical comparison so sorted children lists dedupe shapes. *)
+let rec gtree_compare a b =
+  match a, b with
+  | Leaf, Leaf -> 0
+  | Leaf, Node _ -> -1
+  | Node _, Leaf -> 1
+  | Node xs, Node ys -> List.compare gtree_compare xs ys
+
+(* All canonical trees with the given remaining depth budget; at
+   depth 0 only a leaf. Children are weakly increasing (canonical). *)
+let rec subtrees depth_budget max_leaves =
+  if max_leaves <= 0 then []
+  else if depth_budget = 0 then [ Leaf ]
+  else
+    Leaf
+    :: List.concat_map
+         (fun children -> [ Node children ])
+         (children_lists depth_budget max_leaves)
+
+(* Lists of 2..4 canonical subtrees, weakly increasing, total leaves
+   within budget. *)
+and children_lists depth_budget max_leaves =
+  let candidates = subtrees (depth_budget - 1) (max_leaves - 1) in
+  let rec go arity min_rank leaves_left =
+    if arity = 0 then [ [] ]
+    else
+      List.concat
+        (List.mapi
+           (fun rank c ->
+             if rank < min_rank then []
+             else
+               let l = gtree_leaves c in
+               if l > leaves_left then []
+               else
+                 List.map (fun rest -> c :: rest) (go (arity - 1) rank (leaves_left - l)))
+           candidates)
+  in
+  List.concat_map (fun arity -> go arity 0 max_leaves) [ 2; 3; 4 ]
+
+(* Gate families over a shape tree, leaves = consecutive pins:
+   - [Nand_tree]: every internal node is a NAND (the MCNC 44-x
+     family: two- and three-level NAND networks, mixed-phase).
+   - [Ao_tree inverted]: alternating AND/OR levels from the root,
+     optionally inverted at the root (generalized AOI/OAI and
+     AO/OA complex gates). *)
+type family =
+  | Nand_tree
+  | Ao_tree of { root_or : bool; inverted : bool }
+
+let gtree_expr family tree =
+  let next_pin = ref 0 in
+  let leaf () =
+    let v = Bexpr.var !next_pin in
+    incr next_pin;
+    v
+  in
+  let e =
+    match family with
+    | Nand_tree ->
+      let rec go = function
+        | Leaf -> leaf ()
+        | Node children -> Bexpr.not_ (Bexpr.and_list (List.map go children))
+      in
+      go tree
+    | Ao_tree { root_or; inverted } ->
+      let rec go use_or = function
+        | Leaf -> leaf ()
+        | Node children ->
+          let parts = List.map (go (not use_or)) children in
+          if use_or then Bexpr.or_list parts else Bexpr.and_list parts
+      in
+      let body = go root_or tree in
+      if inverted then Bexpr.not_ body else body
+  in
+  (e, !next_pin)
+
+(* Pin delay grows with the pin's depth inside the gate but much more
+   slowly than a cascade of simple gates would — the property that
+   makes rich libraries reward DAG covering. *)
+let gtree_pins extra tree =
+  let pins = ref [] in
+  let rec go depth = function
+    | Leaf ->
+      let d = 0.45 +. (0.33 *. float_of_int depth) +. extra in
+      pins := d :: !pins
+    | Node children -> List.iter (go (depth + 1)) children
+  in
+  go 0 tree;
+  List.rev !pins
+
+let family_tag = function
+  | Nand_tree -> "nnd"
+  | Ao_tree { root_or = false; inverted = true } -> "aoi"
+  | Ao_tree { root_or = true; inverted = true } -> "oai"
+  | Ao_tree { root_or = false; inverted = false } -> "ao"
+  | Ao_tree { root_or = true; inverted = false } -> "oa"
+
+let gate_of_gtree index family tree =
+  let expr, n_pins = gtree_expr family tree in
+  (* Non-inverting gates carry an output-inverter penalty. *)
+  let extra =
+    match family with
+    | Nand_tree | Ao_tree { inverted = true; _ } -> 0.0
+    | Ao_tree { inverted = false; _ } -> 0.25
+  in
+  let delays = gtree_pins extra tree in
+  assert (List.length delays = n_pins);
+  let pins =
+    Array.of_list
+      (List.mapi
+         (fun i d -> Gate.simple_pin ~delay:d (Printf.sprintf "p%d" i))
+         delays)
+  in
+  let area = float_of_int (928 + (464 * gtree_size tree)) in
+  let name =
+    Printf.sprintf "%s%d_%dx%d" (family_tag family) index n_pins
+      (gtree_depth tree)
+  in
+  Gate.make ~name ~area ~pins expr
+
+(* XOR/XNOR complex gates (SOP form), 2 and 3 inputs. *)
+let xor_gates () =
+  let rec xor_expr = function
+    | [] -> Bexpr.const false
+    | [ x ] -> x
+    | x :: rest -> Bexpr.Xor (x, xor_expr rest)
+  in
+  List.concat_map
+    (fun n ->
+      let vars = List.init n Bexpr.var in
+      let pins d =
+        Array.init n (fun i -> Gate.simple_pin ~delay:d (Printf.sprintf "p%d" i))
+      in
+      let delay = 1.4 +. (0.5 *. float_of_int (n - 2)) in
+      [ Gate.make
+          ~name:(Printf.sprintf "cxor%d" n)
+          ~area:(float_of_int (1856 * (n - 1)))
+          ~pins:(pins delay) (xor_expr vars);
+        Gate.make
+          ~name:(Printf.sprintf "cxnor%d" n)
+          ~area:(float_of_int (1856 * (n - 1)))
+          ~pins:(pins delay)
+          (Bexpr.not_ (xor_expr vars)) ])
+    [ 2; 3 ]
+
+let lib44_3_like () =
+  let base = Genlib_parser.parse_string lib44_1_source in
+  let trees =
+    children_lists 3 16
+    |> List.map (fun children -> Node children)
+    |> List.sort_uniq gtree_compare
+    (* Order simple-to-complex so the cap keeps useful gates. *)
+    |> List.sort (fun a b ->
+           compare
+             (gtree_size a, gtree_leaves a)
+             (gtree_size b, gtree_leaves b))
+  in
+  (* Depth-1 trees of 2..4 inputs duplicate the base library. *)
+  let trees =
+    List.filter
+      (fun t -> not (gtree_depth t = 1 && gtree_leaves t <= 4))
+      trees
+  in
+  let families =
+    [ Nand_tree;
+      Ao_tree { root_or = false; inverted = true };   (* AOI *)
+      Ao_tree { root_or = true; inverted = true };    (* OAI *)
+      Ao_tree { root_or = false; inverted = false };  (* AO *)
+      Ao_tree { root_or = true; inverted = false } ]  (* OA *)
+  in
+  let budget = 625 - List.length base - 4 (* xor gates *) in
+  let per_family = budget / List.length families in
+  (* Stratified selection: round-robin across leaf counts 2..16 so
+     every input width is represented (the paper: "many complex
+     gates with many inputs; the largest gate has 16 inputs"). *)
+  let by_leaves = Array.make 17 [] in
+  List.iter
+    (fun t ->
+      let l = gtree_leaves t in
+      if l <= 16 then by_leaves.(l) <- t :: by_leaves.(l))
+    (List.rev trees);
+  let complex_trees =
+    let picked = ref [] and count = ref 0 in
+    let exhausted = ref false in
+    while (not !exhausted) && !count < per_family do
+      exhausted := true;
+      for l = 2 to 16 do
+        match by_leaves.(l) with
+        | [] -> ()
+        | t :: rest when !count < per_family ->
+          by_leaves.(l) <- rest;
+          picked := t :: !picked;
+          incr count;
+          exhausted := false
+        | _ :: _ -> ()
+      done
+    done;
+    List.rev !picked
+  in
+  let gates =
+    base @ xor_gates ()
+    @ List.concat_map
+        (fun family ->
+          List.mapi (fun i t -> gate_of_gtree i family t) complex_trees)
+        families
+  in
+  let rec cap n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: rest -> x :: cap (n - 1) rest
+  in
+  (* Rich libraries multiply fast: restrain per-gate shape variants. *)
+  make ~max_shapes:6 "44-3" (cap 625 gates)
+
+let names = [ "lib2"; "44-1"; "44-3"; "minimal" ]
+
+let by_name = function
+  | "lib2" -> Some (lib2_like ())
+  | "44-1" -> Some (lib44_1_like ())
+  | "44-3" -> Some (lib44_3_like ())
+  | "minimal" -> Some (minimal ())
+  | _ -> None
+
+let num_pattern_nodes lib =
+  List.fold_left (fun acc p -> acc + Pattern.size p) 0 lib.patterns

@@ -1,0 +1,45 @@
+(** Built-in gate libraries standing in for the MCNC libraries used by
+    the paper's experiments (the MCNC distributions are not available
+    offline; see DESIGN.md, "Substitutions").
+
+    All three libraries contain an inverter and a two-input NAND, so
+    any NAND2-INV subject graph is mappable. *)
+
+type t = {
+  lib_name : string;
+  gates : Gate.t list;
+  patterns : Pattern.t list;  (** pattern graphs of all gates *)
+}
+
+val make : ?max_shapes:int -> string -> Gate.t list -> t
+(** Assemble a library and generate its pattern graphs. *)
+
+val lib2_like : unit -> t
+(** A ~30-gate standard-cell library in the style of MCNC
+    [lib2.genlib]: INV/BUF, NAND/NOR/AND/OR up to 4 inputs, AOI/OAI
+    complex gates, XOR/XNOR, MUX. Defined as genlib source text and
+    run through {!Genlib_parser} (load coefficients present but
+    ignored by the mappers, as in the paper's footnote 4). *)
+
+val lib44_1_like : unit -> t
+(** Exactly 7 gates — INV, NAND2-4, NOR2-4 — mirroring
+    "44-1.genlib only contains 7 gates". *)
+
+val lib44_3_like : unit -> t
+(** A rich library: strict superset of {!lib44_1_like} extended with
+    programmatically generated multi-level NAND-tree and NOR-tree
+    complex gates of up to 16 inputs, capped at 625 gates, mirroring
+    "44-3.genlib has 625 gates, many of which are complex gates with
+    many inputs; the largest gate has 16 inputs". *)
+
+val minimal : unit -> t
+(** INV + NAND2 only; the smallest complete library (used heavily by
+    tests as a worst-case and always-mappable library). *)
+
+val by_name : string -> t option
+(** Look up ["lib2" | "44-1" | "44-3" | "minimal"]. *)
+
+val names : string list
+
+val num_pattern_nodes : t -> int
+(** Total node count over all patterns (the paper's [p]). *)

@@ -1,0 +1,271 @@
+open Dagmap_logic
+
+type pnode =
+  | Pleaf of int
+  | Pinv of int
+  | Pnand of int * int
+
+type t = {
+  gate : Gate.t;
+  nodes : pnode array;
+  root : int;
+  fanout : int array;
+  pin_of_leaf : int array;
+  depth : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shape enumeration: flatten AND/OR chains and regenerate bounded    *)
+(* sets of binary association trees.                                  *)
+(* ------------------------------------------------------------------ *)
+
+type nary =
+  | Nvar of int
+  | Nnot of nary
+  | Nand_ of nary list
+  | Nor_ of nary list
+  | Nxor of nary * nary
+
+let rec to_nary (e : Bexpr.t) : nary =
+  match e with
+  | Bexpr.Const _ -> invalid_arg "Pattern: constant subformula"
+  | Bexpr.Var i -> Nvar i
+  | Bexpr.Not a -> Nnot (to_nary a)
+  | Bexpr.And _ ->
+    let rec collect = function
+      | Bexpr.And (a, b) -> collect a @ collect b
+      | e -> [ to_nary e ]
+    in
+    Nand_ (collect e)
+  | Bexpr.Or _ ->
+    let rec collect = function
+      | Bexpr.Or (a, b) -> collect a @ collect b
+      | e -> [ to_nary e ]
+    in
+    Nor_ (collect e)
+  | Bexpr.Xor (a, b) -> Nxor (to_nary a, to_nary b)
+
+(* Binary association trees over an ordered operand list. For short
+   lists all Catalan shapes are produced; longer lists get a balanced
+   and a left-skewed shape only, to bound the pattern count. *)
+let rec association_trees op operands =
+  match operands with
+  | [] -> invalid_arg "association_trees"
+  | [ e ] -> [ e ]
+  | operands when List.length operands <= 4 ->
+    let n = List.length operands in
+    let rec splits i =
+      if i >= n then []
+      else
+        (List.filteri (fun j _ -> j < i) operands,
+         List.filteri (fun j _ -> j >= i) operands)
+        :: splits (i + 1)
+    in
+    List.concat_map
+      (fun (l, r) ->
+        List.concat_map
+          (fun lt -> List.map (fun rt -> op lt rt) (association_trees op r))
+          (association_trees op l))
+      (splits 1)
+  | operands ->
+    let balanced ops =
+      let rec build = function
+        | [ e ] -> e
+        | ops ->
+          let n = List.length ops in
+          let l = List.filteri (fun j _ -> j < n / 2) ops in
+          let r = List.filteri (fun j _ -> j >= n / 2) ops in
+          op (build l) (build r)
+      in
+      build ops
+    in
+    let skewed ops =
+      match ops with
+      | [] -> assert false
+      | first :: rest -> List.fold_left op first rest
+    in
+    [ balanced operands; skewed operands ]
+
+let cap limit xs =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take limit xs
+
+(* All binary-shaped Bexpr variants of an n-ary formula, capped. *)
+let rec shapes limit (e : nary) : Bexpr.t list =
+  match e with
+  | Nvar i -> [ Bexpr.var i ]
+  | Nnot a -> List.map Bexpr.not_ (shapes limit a)
+  | Nxor (a, b) ->
+    let vs =
+      List.concat_map
+        (fun l -> List.map (fun r -> Bexpr.Xor (l, r)) (shapes limit b))
+        (shapes limit a)
+    in
+    cap limit vs
+  | Nand_ operands -> shapes_nary limit (fun a b -> Bexpr.And (a, b)) operands
+  | Nor_ operands -> shapes_nary limit (fun a b -> Bexpr.Or (a, b)) operands
+
+and shapes_nary limit op operands =
+  (* Cartesian product of per-operand variants, then association
+     shapes over each choice; capped at every step. *)
+  let operand_variants = List.map (shapes limit) operands in
+  let choices =
+    List.fold_left
+      (fun acc vs ->
+        cap limit
+          (List.concat_map (fun prefix -> List.map (fun v -> v :: prefix) vs) acc))
+      [ [] ] operand_variants
+  in
+  let choices = List.map List.rev choices in
+  cap limit (List.concat_map (association_trees op) choices)
+
+(* ------------------------------------------------------------------ *)
+(* NAND2-INV construction with hash-consing.                          *)
+(* ------------------------------------------------------------------ *)
+
+type builder = {
+  mutable list_rev : pnode list;
+  mutable next : int;
+  table : (pnode, int) Hashtbl.t;
+  by_index : (int, pnode) Hashtbl.t;
+}
+
+let new_builder () =
+  { list_rev = []; next = 0; table = Hashtbl.create 16;
+    by_index = Hashtbl.create 16 }
+
+let mk b p =
+  match Hashtbl.find_opt b.table p with
+  | Some i -> i
+  | None ->
+    let i = b.next in
+    b.next <- i + 1;
+    b.list_rev <- p :: b.list_rev;
+    Hashtbl.add b.table p i;
+    Hashtbl.add b.by_index i p;
+    i
+
+let nodes_of_builder b = Array.of_list (List.rev b.list_rev)
+
+(* Double inverters cancel structurally. *)
+let inv b i =
+  match Hashtbl.find b.by_index i with
+  | Pinv j -> j
+  | Pleaf _ | Pnand _ -> mk b (Pinv i)
+
+let rec build b complement (e : Bexpr.t) =
+  match e with
+  | Bexpr.Const _ -> invalid_arg "Pattern: constant"
+  | Bexpr.Var i ->
+    let leaf = mk b (Pleaf i) in
+    if complement then inv b leaf else leaf
+  | Bexpr.Not a -> build b (not complement) a
+  | Bexpr.And (x, y) ->
+    let nand = mk b (Pnand (build b false x, build b false y)) in
+    if complement then nand else inv b nand
+  | Bexpr.Or (x, y) ->
+    let nand = mk b (Pnand (build b true x, build b true y)) in
+    if complement then inv b nand else nand
+  | Bexpr.Xor (x, y) ->
+    let px = build b false x in
+    let py = build b false y in
+    let shared = mk b (Pnand (px, py)) in
+    let result =
+      mk b (Pnand (mk b (Pnand (px, shared)), mk b (Pnand (py, shared))))
+    in
+    if complement then inv b result else result
+
+let finalize gate b root =
+  let nodes = nodes_of_builder b in
+  let n = Array.length nodes in
+  let fanout = Array.make n 0 in
+  let bump i = fanout.(i) <- fanout.(i) + 1 in
+  Array.iter
+    (function
+      | Pleaf _ -> ()
+      | Pinv i -> bump i
+      | Pnand (i, j) -> bump i; bump j)
+    nodes;
+  let pin_of_leaf =
+    Array.map (function Pleaf p -> p | Pinv _ | Pnand _ -> -1) nodes
+  in
+  let depth = Array.make n 0 in
+  Array.iteri
+    (fun i p ->
+      depth.(i) <-
+        (match p with
+         | Pleaf _ -> 0
+         | Pinv j -> depth.(j) + 1
+         | Pnand (j, k) -> 1 + max depth.(j) depth.(k)))
+    nodes;
+  { gate; nodes; root; fanout; pin_of_leaf; depth = depth.(root) }
+
+let func p =
+  let n = Gate.num_pins p.gate in
+  let values = Array.make (Array.length p.nodes) (Truth.const n false) in
+  Array.iteri
+    (fun i pn ->
+      values.(i) <-
+        (match pn with
+         | Pleaf pin -> Truth.var n pin
+         | Pinv j -> Truth.lognot values.(j)
+         | Pnand (j, k) -> Truth.lognand values.(j) values.(k)))
+    p.nodes;
+  values.(p.root)
+
+let size p = Array.length p.nodes
+
+let is_tree p =
+  let ok = ref true in
+  Array.iteri
+    (fun i fo ->
+      match p.nodes.(i) with
+      | Pleaf _ -> ()
+      | Pinv _ | Pnand _ -> if fo > 1 then ok := false)
+    p.fanout;
+  !ok
+
+let of_gate ?(max_shapes = 32) gate =
+  match Gate.is_constant gate with
+  | Some _ -> []
+  | None ->
+    let variants =
+      try cap max_shapes (shapes max_shapes (to_nary gate.Gate.expr))
+      with Invalid_argument _ -> []
+    in
+    let seen = Hashtbl.create 16 in
+    List.filter_map
+      (fun e ->
+        match
+          (try
+             let b = new_builder () in
+             let root = build b false e in
+             Some (finalize gate b root)
+           with Invalid_argument _ -> None)
+        with
+        | None -> None
+        | Some p ->
+          let key = (p.nodes, p.root) in
+          if Hashtbl.mem seen key then None
+          else begin
+            Hashtbl.add seen key ();
+            Some p
+          end)
+      variants
+
+let pp ppf p =
+  Format.fprintf ppf "pattern(%s): root=%d depth=%d@\n" p.gate.Gate.gate_name
+    p.root p.depth;
+  Array.iteri
+    (fun i pn ->
+      match pn with
+      | Pleaf pin ->
+        Format.fprintf ppf "  %d: leaf pin=%s@\n" i
+          p.gate.Gate.pins.(pin).Gate.pin_name
+      | Pinv j -> Format.fprintf ppf "  %d: inv %d@\n" i j
+      | Pnand (j, k) -> Format.fprintf ppf "  %d: nand %d %d@\n" i j k)
+    p.nodes

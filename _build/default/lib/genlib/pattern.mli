@@ -1,0 +1,44 @@
+(** NAND2-INV pattern graphs for library gates.
+
+    Following Keutzer's formulation, each gate is decomposed into a
+    DAG of two-input NANDs and inverters over its pins. Because the
+    structural matcher can only discover matches whose tree shape
+    exists among the patterns, several associativity variants are
+    generated per gate (Rudell's "expanded pattern graphs" play the
+    same role for input permutations, which our matcher instead
+    explores directly by trying both NAND input orders). *)
+
+open Dagmap_logic
+
+type pnode =
+  | Pleaf of int          (** pattern input, tagged with the gate pin index *)
+  | Pinv of int           (** inverter over node [i] *)
+  | Pnand of int * int    (** two-input NAND over nodes [i] and [j] *)
+
+type t = {
+  gate : Gate.t;
+  nodes : pnode array;    (** topologically ordered: fanins precede users *)
+  root : int;             (** index of the output node *)
+  fanout : int array;     (** fanout count of each node within the pattern *)
+  pin_of_leaf : int array; (** pin index for leaves, [-1] otherwise *)
+  depth : int;            (** longest leaf-to-root path (NANDs and INVs) *)
+}
+
+val of_gate : ?max_shapes:int -> Gate.t -> t list
+(** All generated pattern graphs for a gate (deduplicated), at most
+    [max_shapes] (default 32). Returns [[]] for constant gates and
+    gates whose formula cannot be decomposed (none in practice). *)
+
+val func : t -> Truth.t
+(** Function computed by the pattern over the gate pins; used in
+    tests to validate decomposition ([func p] must equal
+    [p.gate.func]). *)
+
+val size : t -> int
+(** Node count. *)
+
+val is_tree : t -> bool
+(** True when no node (other than via distinct leaves) has fanout
+    greater than one, i.e. the pattern is a leaf-DAG at worst. *)
+
+val pp : Format.formatter -> t -> unit

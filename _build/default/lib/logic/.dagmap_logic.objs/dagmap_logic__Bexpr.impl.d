@@ -1,0 +1,1 @@
+lib/logic/bexpr.ml: Format Int List Printf Set String Truth

@@ -1,0 +1,1 @@
+lib/logic/bexpr.mli: Format Truth

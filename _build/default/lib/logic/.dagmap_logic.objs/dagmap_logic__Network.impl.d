@@ -1,0 +1,1 @@
+lib/logic/network.ml: Array Bexpr Buffer List Printf String

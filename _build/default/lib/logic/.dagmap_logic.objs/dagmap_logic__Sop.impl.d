@@ -1,0 +1,1 @@
+lib/logic/sop.ml: Array Bexpr Hashtbl List Truth

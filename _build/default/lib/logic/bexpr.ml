@@ -1,0 +1,221 @@
+type t =
+  | Const of bool
+  | Var of int
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+
+let const b = Const b
+let var i =
+  if i < 0 then invalid_arg "Bexpr.var";
+  Var i
+
+let not_ = function
+  | Const b -> Const (not b)
+  | Not e -> e
+  | e -> Not e
+
+let and2 a b =
+  match a, b with
+  | Const false, _ | _, Const false -> Const false
+  | Const true, e | e, Const true -> e
+  | _ -> And (a, b)
+
+let or2 a b =
+  match a, b with
+  | Const true, _ | _, Const true -> Const true
+  | Const false, e | e, Const false -> e
+  | _ -> Or (a, b)
+
+let xor2 a b =
+  match a, b with
+  | Const false, e | e, Const false -> e
+  | Const true, e | e, Const true -> not_ e
+  | _ -> Xor (a, b)
+
+(* Balanced reduction keeps decomposition depth logarithmic. *)
+let rec reduce op identity = function
+  | [] -> identity
+  | [ e ] -> e
+  | es ->
+    let rec pair = function
+      | [] -> []
+      | [ e ] -> [ e ]
+      | a :: b :: rest -> op a b :: pair rest
+    in
+    reduce op identity (pair es)
+
+let and_list es = reduce and2 (Const true) es
+let or_list es = reduce or2 (Const false) es
+
+let rec eval e env =
+  match e with
+  | Const b -> b
+  | Var i -> env i
+  | Not a -> not (eval a env)
+  | And (a, b) -> eval a env && eval b env
+  | Or (a, b) -> eval a env || eval b env
+  | Xor (a, b) -> eval a env <> eval b env
+
+let rec num_vars = function
+  | Const _ -> 0
+  | Var i -> i + 1
+  | Not a -> num_vars a
+  | And (a, b) | Or (a, b) | Xor (a, b) -> max (num_vars a) (num_vars b)
+
+let vars e =
+  let module IS = Set.Make (Int) in
+  let rec go acc = function
+    | Const _ -> acc
+    | Var i -> IS.add i acc
+    | Not a -> go acc a
+    | And (a, b) | Or (a, b) | Xor (a, b) -> go (go acc a) b
+  in
+  IS.elements (go IS.empty e)
+
+let rec to_truth n e =
+  match e with
+  | Const b -> Truth.const n b
+  | Var i -> Truth.var n i
+  | Not a -> Truth.lognot (to_truth n a)
+  | And (a, b) -> Truth.logand (to_truth n a) (to_truth n b)
+  | Or (a, b) -> Truth.logor (to_truth n a) (to_truth n b)
+  | Xor (a, b) -> Truth.logxor (to_truth n a) (to_truth n b)
+
+let rec map_vars subst = function
+  | Const b -> Const b
+  | Var i -> subst i
+  | Not a -> not_ (map_vars subst a)
+  | And (a, b) -> and2 (map_vars subst a) (map_vars subst b)
+  | Or (a, b) -> or2 (map_vars subst a) (map_vars subst b)
+  | Xor (a, b) -> xor2 (map_vars subst a) (map_vars subst b)
+
+let rec size = function
+  | Const _ | Var _ -> 1
+  | Not a -> 1 + size a
+  | And (a, b) | Or (a, b) | Xor (a, b) -> 1 + size a + size b
+
+let rec depth = function
+  | Const _ | Var _ -> 0
+  | Not a -> depth a
+  | And (a, b) | Or (a, b) | Xor (a, b) -> 1 + max (depth a) (depth b)
+
+let equal (a : t) (b : t) = a = b
+
+let of_cubes cubes =
+  let cube lits =
+    and_list
+      (List.map (fun (v, phase) -> if phase then var v else not_ (var v)) lits)
+  in
+  or_list (List.map cube cubes)
+
+(* Printing: OR at lowest precedence, then AND, then NOT/atoms. *)
+let rec pp_prec names prec ppf e =
+  let open Format in
+  match e with
+  | Const b -> pp_print_string ppf (if b then "CONST1" else "CONST0")
+  | Var i -> pp_print_string ppf (names i)
+  | Not a -> fprintf ppf "!%a" (pp_prec names 2) a
+  | And (a, b) ->
+    if prec > 1 then fprintf ppf "(%a*%a)" (pp_prec names 1) a (pp_prec names 1) b
+    else fprintf ppf "%a*%a" (pp_prec names 1) a (pp_prec names 1) b
+  | Or (a, b) ->
+    if prec > 0 then fprintf ppf "(%a+%a)" (pp_prec names 0) a (pp_prec names 0) b
+    else fprintf ppf "%a+%a" (pp_prec names 0) a (pp_prec names 0) b
+  | Xor (a, b) ->
+    (* genlib has no XOR operator; print expanded. *)
+    pp_prec names prec ppf (Or (And (a, Not b), And (Not a, b)))
+
+let pp ~names ppf e = pp_prec names 0 ppf e
+
+let to_string ~names e = Format.asprintf "%a" (pp ~names) e
+
+exception Parse_error of string
+
+(* Recursive-descent parser for genlib formulas.
+   grammar:  or   := and (('+'|空) and)*        -- '+' only
+             and  := unary (('*' | juxtaposition) unary)*
+             unary:= '!' unary | atom '''*
+             atom := ident | CONST0 | CONST1 | '(' or ')'          *)
+let parse ~pin_names text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9') || c = '_' || c = '[' || c = ']' || c = '.'
+  in
+  let read_ident () =
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | Some c when is_ident_char c -> advance (); go ()
+      | _ -> ()
+    in
+    go ();
+    String.sub text start (!pos - start)
+  in
+  let var_of_name name =
+    let rec index i = function
+      | [] ->
+        pin_names := !pin_names @ [ name ];
+        i
+      | x :: _ when String.equal x name -> i
+      | _ :: rest -> index (i + 1) rest
+    in
+    var (index 0 !pin_names)
+  in
+  let rec parse_or () =
+    let lhs = parse_and () in
+    skip_ws ();
+    match peek () with
+    | Some '+' -> advance (); or2 lhs (parse_or ())
+    | _ -> lhs
+  and parse_and () =
+    let lhs = parse_unary () in
+    skip_ws ();
+    match peek () with
+    | Some '*' -> advance (); and2 lhs (parse_and ())
+    | Some c when c = '!' || c = '(' || is_ident_char c ->
+      (* Juxtaposition denotes AND in genlib ("a b" = a*b). *)
+      and2 lhs (parse_and ())
+    | _ -> lhs
+  and parse_unary () =
+    skip_ws ();
+    match peek () with
+    | Some '!' -> advance (); with_postfix (not_ (parse_unary ()))
+    | Some '(' ->
+      advance ();
+      let e = parse_or () in
+      skip_ws ();
+      (match peek () with
+       | Some ')' -> advance (); with_postfix e
+       | _ -> raise (Parse_error "expected ')'"))
+    | Some c when is_ident_char c ->
+      let id = read_ident () in
+      let e =
+        match id with
+        | "CONST0" -> const false
+        | "CONST1" -> const true
+        | _ -> var_of_name id
+      in
+      with_postfix e
+    | Some c -> raise (Parse_error (Printf.sprintf "unexpected character %C" c))
+    | None -> raise (Parse_error "unexpected end of formula")
+  and with_postfix e =
+    match peek () with
+    | Some '\'' -> advance (); with_postfix (not_ e)
+    | _ -> e
+  in
+  let e = parse_or () in
+  skip_ws ();
+  if !pos <> n then
+    raise (Parse_error (Printf.sprintf "trailing input at offset %d" !pos));
+  e

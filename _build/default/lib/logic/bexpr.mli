@@ -1,0 +1,67 @@
+(** Boolean expression trees.
+
+    Variables are integers (indices into some external ordering, e.g.
+    a node's fanin list or a gate's pin list). Expressions are the
+    structural currency of the system: network node functions,
+    genlib gate formulas and decomposition inputs are all [Bexpr.t]. *)
+
+type t =
+  | Const of bool
+  | Var of int
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+
+val const : bool -> t
+val var : int -> t
+val not_ : t -> t
+val and2 : t -> t -> t
+val or2 : t -> t -> t
+val xor2 : t -> t -> t
+(** Smart constructors with constant folding and double-negation
+    elimination. *)
+
+val and_list : t list -> t
+val or_list : t list -> t
+(** Balanced-tree n-ary conjunction / disjunction (identity elements
+    for the empty list). *)
+
+val num_vars : t -> int
+(** One plus the largest variable index occurring ([0] if none). *)
+
+val vars : t -> int list
+(** Sorted list of distinct variable indices occurring. *)
+
+val eval : t -> (int -> bool) -> bool
+
+val to_truth : int -> t -> Truth.t
+(** [to_truth n e] interprets [e] over an [n]-variable domain. *)
+
+val map_vars : (int -> t) -> t -> t
+(** Simultaneous substitution. *)
+
+val size : t -> int
+(** Number of operator and leaf nodes. *)
+
+val depth : t -> int
+
+val equal : t -> t -> bool
+
+val of_cubes : (int * bool) list list -> t
+(** Sum of products: each cube is a list of [(variable, phase)]
+    literals; [phase = true] means the positive literal. The empty
+    cube list denotes constant false; an empty cube denotes true. *)
+
+val pp : names:(int -> string) -> Format.formatter -> t -> unit
+(** Print using genlib syntax: [*] for AND, [+] for OR, [!] for NOT. *)
+
+val to_string : names:(int -> string) -> t -> string
+
+exception Parse_error of string
+
+val parse : pin_names:string list ref -> string -> t
+(** Parse a genlib-style formula ([a*b + !c], [a b + c'], constants
+    [CONST0]/[CONST1]). Identifiers are assigned variable indices in
+    order of first occurrence and appended to [pin_names] (which may
+    be pre-seeded to pin an ordering). *)

@@ -1,0 +1,253 @@
+type kind = Pi | Latch_out | Logic
+
+type node = {
+  id : int;
+  name : string;
+  kind : kind;
+  mutable expr : Bexpr.t;
+  mutable fanins : int array;
+}
+
+type latch = {
+  mutable latch_input : int;
+  latch_output : int;
+  latch_init : bool;
+}
+
+type t = {
+  net_name : string;
+  mutable nodes : node array;
+  mutable count : int;
+  mutable rev_pis : int list;
+  mutable rev_pos : (string * int) list;
+  mutable rev_latches : latch list;
+}
+
+let create ?(name = "network") () =
+  { net_name = name; nodes = [||]; count = 0; rev_pis = []; rev_pos = [];
+    rev_latches = [] }
+
+let name net = net.net_name
+
+let dummy_node =
+  { id = -1; name = ""; kind = Pi; expr = Bexpr.Const false; fanins = [||] }
+
+let grow net =
+  if net.count = Array.length net.nodes then begin
+    let capacity = max 16 (2 * Array.length net.nodes) in
+    let nodes = Array.make capacity dummy_node in
+    Array.blit net.nodes 0 nodes 0 net.count;
+    net.nodes <- nodes
+  end
+
+let add_node net ~name ~kind ~expr ~fanins =
+  grow net;
+  let id = net.count in
+  net.nodes.(id) <- { id; name; kind; expr; fanins };
+  net.count <- id + 1;
+  id
+
+let node net id =
+  if id < 0 || id >= net.count then invalid_arg "Network.node";
+  net.nodes.(id)
+
+let num_nodes net = net.count
+
+let add_pi net pi_name =
+  let id =
+    add_node net ~name:pi_name ~kind:Pi ~expr:(Bexpr.Const false) ~fanins:[||]
+  in
+  net.rev_pis <- id :: net.rev_pis;
+  id
+
+let add_logic net ?name expr fanins =
+  Array.iter
+    (fun f ->
+      if f < 0 || f >= net.count then invalid_arg "Network.add_logic: bad fanin")
+    fanins;
+  if Bexpr.num_vars expr > Array.length fanins then
+    invalid_arg "Network.add_logic: expression references missing fanin";
+  let node_name =
+    match name with Some n -> n | None -> Printf.sprintf "n%d" net.count
+  in
+  add_node net ~name:node_name ~kind:Logic ~expr ~fanins
+
+let add_latch_output net ?name ?(init = false) () =
+  let out_name =
+    match name with Some n -> n | None -> Printf.sprintf "latch%d" net.count
+  in
+  let out =
+    add_node net ~name:out_name ~kind:Latch_out ~expr:(Bexpr.Const false)
+      ~fanins:[||]
+  in
+  net.rev_latches <-
+    { latch_input = -1; latch_output = out; latch_init = init }
+    :: net.rev_latches;
+  out
+
+let set_latch_input net ~latch_output d =
+  if d < 0 || d >= net.count then invalid_arg "Network.set_latch_input";
+  match
+    List.find_opt (fun l -> l.latch_output = latch_output) net.rev_latches
+  with
+  | None -> invalid_arg "Network.set_latch_input: no such latch"
+  | Some l -> l.latch_input <- d
+
+let add_latch net ?name ?(init = false) d =
+  if d < 0 || d >= net.count then invalid_arg "Network.add_latch";
+  let out = add_latch_output net ?name ~init () in
+  set_latch_input net ~latch_output:out d;
+  out
+
+let add_po net po_name id =
+  if id < 0 || id >= net.count then invalid_arg "Network.add_po";
+  net.rev_pos <- (po_name, id) :: net.rev_pos
+
+let pis net = List.rev net.rev_pis
+let pos net = List.rev net.rev_pos
+let latches net = List.rev net.rev_latches
+
+let fanout_counts net =
+  let counts = Array.make net.count 0 in
+  for id = 0 to net.count - 1 do
+    Array.iter (fun f -> counts.(f) <- counts.(f) + 1) net.nodes.(id).fanins
+  done;
+  List.iter (fun (_, id) -> counts.(id) <- counts.(id) + 1) (pos net);
+  List.iter
+    (fun l ->
+      if l.latch_input >= 0 then
+        counts.(l.latch_input) <- counts.(l.latch_input) + 1)
+    (latches net);
+  counts
+
+let topological_order net =
+  (* Iterative DFS with a cycle check via colors. *)
+  let white = 0 and grey = 1 and black = 2 in
+  let color = Array.make net.count white in
+  let order = ref [] in
+  let rec visit id =
+    if color.(id) = grey then failwith "Network: combinational cycle";
+    if color.(id) = white then begin
+      color.(id) <- grey;
+      Array.iter visit net.nodes.(id).fanins;
+      color.(id) <- black;
+      order := id :: !order
+    end
+  in
+  for id = 0 to net.count - 1 do
+    visit id
+  done;
+  List.rev !order
+
+let level net =
+  let levels = Array.make net.count 0 in
+  List.iter
+    (fun id ->
+      let n = net.nodes.(id) in
+      match n.kind with
+      | Pi | Latch_out -> levels.(id) <- 0
+      | Logic ->
+        let m = Array.fold_left (fun acc f -> max acc levels.(f)) (-1) n.fanins in
+        levels.(id) <- m + 1)
+    (topological_order net);
+  levels
+
+let depth net =
+  let levels = level net in
+  let d = ref 0 in
+  List.iter (fun (_, id) -> d := max !d levels.(id)) (pos net);
+  List.iter
+    (fun l -> if l.latch_input >= 0 then d := max !d levels.(l.latch_input))
+    (latches net);
+  !d
+
+let node_truth net id =
+  let n = node net id in
+  match n.kind with
+  | Pi | Latch_out -> invalid_arg "Network.node_truth: leaf node"
+  | Logic -> Bexpr.to_truth (Array.length n.fanins) n.expr
+
+let iter_nodes net f =
+  for id = 0 to net.count - 1 do
+    f net.nodes.(id)
+  done
+
+let is_k_bounded net k =
+  let ok = ref true in
+  iter_nodes net (fun n ->
+      if n.kind = Logic && Array.length n.fanins > k then ok := false);
+  !ok
+
+let find_by_name net target =
+  let found = ref None in
+  (try
+     iter_nodes net (fun n ->
+         if String.equal n.name target then begin
+           found := Some n.id;
+           raise Exit
+         end)
+   with Exit -> ());
+  !found
+
+let stats net =
+  let n_logic = ref 0 in
+  iter_nodes net (fun n -> if n.kind = Logic then incr n_logic);
+  Printf.sprintf "%s: pi=%d po=%d logic=%d latch=%d depth=%d"
+    net.net_name
+    (List.length (pis net))
+    (List.length (pos net))
+    !n_logic
+    (List.length (latches net))
+    (depth net)
+
+let to_dot net =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n  rankdir=LR;\n" net.net_name);
+  iter_nodes net (fun n ->
+      let shape =
+        match n.kind with
+        | Pi -> "triangle"
+        | Latch_out -> "box"
+        | Logic -> "ellipse"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=%S shape=%s];\n" n.id n.name shape);
+      Array.iter
+        (fun f -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" f n.id))
+        n.fanins);
+  List.iter
+    (fun (po_name, id) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  out_%s [label=%S shape=invtriangle];\n  n%d -> out_%s;\n"
+           po_name po_name id po_name))
+    (pos net);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let validate net =
+  iter_nodes net (fun n ->
+      Array.iter
+        (fun f ->
+          if f < 0 || f >= net.count then
+            failwith (Printf.sprintf "node %d: fanin %d out of range" n.id f))
+        n.fanins;
+      match n.kind with
+      | Logic ->
+        if Bexpr.num_vars n.expr > Array.length n.fanins then
+          failwith (Printf.sprintf "node %d: expression exceeds fanins" n.id)
+      | Pi | Latch_out ->
+        if Array.length n.fanins <> 0 then
+          failwith (Printf.sprintf "leaf node %d has fanins" n.id));
+  List.iter
+    (fun (po_name, id) ->
+      if id < 0 || id >= net.count then
+        failwith (Printf.sprintf "output %s: bad driver" po_name))
+    (pos net);
+  List.iter
+    (fun l ->
+      if l.latch_input < 0 then
+        failwith
+          (Printf.sprintf "latch with output node %d has no data input"
+             l.latch_output))
+    (latches net);
+  ignore (topological_order net)

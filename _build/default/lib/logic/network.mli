@@ -1,0 +1,99 @@
+(** Technology-independent Boolean networks.
+
+    A network is a DAG of logic nodes, each computing a Boolean
+    expression of its fanins, plus primary inputs, primary outputs and
+    (optionally) edge-triggered latches. Latch outputs act as
+    combinational leaves; latch inputs as combinational roots. *)
+
+type kind =
+  | Pi         (** primary input *)
+  | Latch_out  (** output of a latch; a combinational leaf *)
+  | Logic      (** internal node with a function of its fanins *)
+
+type node = private {
+  id : int;
+  name : string;
+  kind : kind;
+  mutable expr : Bexpr.t;   (** over fanin indices; ignored for leaves *)
+  mutable fanins : int array;
+}
+
+type latch = private {
+  mutable latch_input : int;  (** -1 until bound *)
+  latch_output : int;
+  latch_init : bool;
+}
+
+type t
+
+val create : ?name:string -> unit -> t
+
+val name : t -> string
+
+val add_pi : t -> string -> int
+(** Add a primary input; returns its node id. *)
+
+val add_logic : t -> ?name:string -> Bexpr.t -> int array -> int
+(** [add_logic net expr fanins] adds an internal node computing
+    [expr] over [fanins] (expression variable [i] refers to
+    [fanins.(i)]). Fanin ids must already exist. *)
+
+val add_latch : t -> ?name:string -> ?init:bool -> int -> int
+(** [add_latch net d] adds a latch whose data input is node [d];
+    returns the id of the new latch-output node. *)
+
+val add_latch_output : t -> ?name:string -> ?init:bool -> unit -> int
+(** Create a latch whose data input is not yet known (needed when
+    reading formats where latches may reference logic defined later);
+    bind it with {!set_latch_input} before using the network. *)
+
+val set_latch_input : t -> latch_output:int -> int -> unit
+(** Bind the data input of the latch created for [latch_output]. *)
+
+val add_po : t -> string -> int -> unit
+(** Declare node [id] as driving primary output [name]. *)
+
+val node : t -> int -> node
+val num_nodes : t -> int
+val pis : t -> int list
+(** Primary inputs in creation order. *)
+
+val pos : t -> (string * int) list
+(** Primary outputs in creation order. *)
+
+val latches : t -> latch list
+
+val fanout_counts : t -> int array
+(** Combinational fanout count per node (PO and latch-input uses
+    each count as one fanout). *)
+
+val topological_order : t -> int list
+(** All nodes, leaves first; every node appears after its fanins.
+    Raises [Failure] on a combinational cycle. *)
+
+val level : t -> int array
+(** Combinational level of each node (leaves are 0). *)
+
+val depth : t -> int
+(** Maximum level over PO drivers and latch inputs. *)
+
+val node_truth : t -> int -> Truth.t
+(** Local function of a logic node as a truth table over its fanins. *)
+
+val iter_nodes : t -> (node -> unit) -> unit
+
+val is_k_bounded : t -> int -> bool
+(** Whether every logic node has at most [k] fanins. *)
+
+val find_by_name : t -> string -> int option
+
+val stats : t -> string
+(** One-line summary: #pi/#po/#nodes/#latches/depth. *)
+
+val to_dot : t -> string
+(** Graphviz rendering (for debugging / documentation). *)
+
+val validate : t -> unit
+(** Check structural invariants (fanin ids in range, expression
+    variables within fanin count, acyclicity); raises [Failure]
+    describing the first violation. *)

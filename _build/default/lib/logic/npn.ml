@@ -1,0 +1,73 @@
+type transform = {
+  perm : int array;
+  input_neg : int;
+  output_neg : bool;
+}
+
+let identity n = { perm = Array.init n (fun i -> i); input_neg = 0; output_neg = false }
+
+let apply tt t =
+  let n = Truth.num_vars tt in
+  if Array.length t.perm <> n then invalid_arg "Npn.apply";
+  (* Negate selected inputs by swapping cofactors, i.e. xor-ing the
+     function with the variable: f(x_i <- !x_i). Implemented by bit
+     remapping on minterms for clarity and correctness. *)
+  let result = ref (Truth.const n false) in
+  for m = 0 to (1 lsl n) - 1 do
+    let m_neg = m lxor t.input_neg in
+    let m' = ref 0 in
+    for i = 0 to n - 1 do
+      if m_neg land (1 lsl i) <> 0 then m' := !m' lor (1 lsl t.perm.(i))
+    done;
+    if Truth.get_bit tt m then result := Truth.set_bit !result !m' true
+  done;
+  if t.output_neg then Truth.lognot !result else !result
+
+let rec permutations_list = function
+  | [] -> [ [] ]
+  | xs ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) xs in
+        List.map (fun p -> x :: p) (permutations_list rest))
+      xs
+
+let permutations n =
+  if n > 8 then invalid_arg "Npn.permutations";
+  List.map Array.of_list (permutations_list (List.init n (fun i -> i)))
+
+let p_variants tt =
+  let n = Truth.num_vars tt in
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun perm ->
+      let v = Truth.permute tt perm in
+      let key = Truth.to_hex v in
+      if Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.add seen key ();
+        Some (v, perm)
+      end)
+    (permutations n)
+
+let npn_canon tt =
+  let n = Truth.num_vars tt in
+  let best = ref None in
+  List.iter
+    (fun perm ->
+      for input_neg = 0 to (1 lsl n) - 1 do
+        List.iter
+          (fun output_neg ->
+            let t = { perm; input_neg; output_neg } in
+            let v = apply tt t in
+            match !best with
+            | Some (b, _) when Truth.compare b v <= 0 -> ()
+            | Some _ | None -> best := Some (v, t))
+          [ false; true ]
+      done)
+    (permutations n);
+  match !best with Some r -> r | None -> assert false
+
+let npn_equal a b =
+  Truth.num_vars a = Truth.num_vars b
+  && Truth.equal (fst (npn_canon a)) (fst (npn_canon b))

@@ -1,0 +1,35 @@
+(** Input-permutation (P) and negation-permutation (NPN) utilities
+    on truth tables, used by Boolean matching.
+
+    Exact NPN canonicalization enumerates all [2^(n+1) * n!]
+    transforms, so it is intended for [n <= 5]; the cut-based mapper
+    uses only the permutation group (plus output phase), which is
+    cheap for the library-side precomputation. *)
+
+type transform = {
+  perm : int array;      (** new position of each input: input [i] of
+                             the original becomes input [perm.(i)] *)
+  input_neg : int;       (** bitmask of negated inputs (original
+                             numbering) *)
+  output_neg : bool;
+}
+
+val identity : int -> transform
+
+val apply : Truth.t -> transform -> Truth.t
+(** Apply negations then permutation, then output phase. *)
+
+val permutations : int -> int array list
+(** All permutations of [0 .. n-1] ([n <= 8]). *)
+
+val p_variants : Truth.t -> (Truth.t * int array) list
+(** All distinct permutation variants of a function, each with the
+    permutation that produces it. *)
+
+val npn_canon : Truth.t -> Truth.t * transform
+(** Exact NPN-canonical representative (lexicographically smallest
+    table) and one transform reaching it. Cost grows as
+    [2^(n+1) n!]; use for [n <= 5]. *)
+
+val npn_equal : Truth.t -> Truth.t -> bool
+(** Whether two functions are NPN-equivalent (via {!npn_canon}). *)

@@ -1,0 +1,123 @@
+type cube = { mask : int; value : int }
+
+let cube_covers c m = m land c.mask = c.value
+
+(* Quine-McCluskey merge: cubes with identical masks whose values
+   differ in exactly one cared bit combine into a cube that drops
+   that bit. Iterate to closure; cubes that never merge are prime. *)
+let primes n tt =
+  let full_mask = (1 lsl n) - 1 in
+  let on_set = ref [] in
+  for m = 0 to (1 lsl n) - 1 do
+    if Truth.get_bit tt m then on_set := { mask = full_mask; value = m } :: !on_set
+  done;
+  let primes = ref [] in
+  let current = ref !on_set in
+  while !current <> [] do
+    let merged = Hashtbl.create 64 in
+    let next = Hashtbl.create 64 in
+    let arr = Array.of_list !current in
+    let k = Array.length arr in
+    for i = 0 to k - 1 do
+      for j = i + 1 to k - 1 do
+        let a = arr.(i) and b = arr.(j) in
+        if a.mask = b.mask then begin
+          let diff = a.value lxor b.value in
+          (* exactly one bit set *)
+          if diff <> 0 && diff land (diff - 1) = 0 then begin
+            let c = { mask = a.mask land lnot diff; value = a.value land lnot diff } in
+            Hashtbl.replace next (c.mask, c.value) c;
+            Hashtbl.replace merged (a.mask, a.value) ();
+            Hashtbl.replace merged (b.mask, b.value) ()
+          end
+        end
+      done
+    done;
+    Array.iter
+      (fun c ->
+        if not (Hashtbl.mem merged (c.mask, c.value)) then primes := c :: !primes)
+      arr;
+    current := Hashtbl.fold (fun _ c acc -> c :: acc) next []
+  done;
+  !primes
+
+let minimize tt =
+  let n = Truth.num_vars tt in
+  match Truth.is_const tt with
+  | Some false -> []
+  | Some true -> [ { mask = 0; value = 0 } ]
+  | None ->
+    let primes = primes n tt in
+    (* Covering: essential primes first, then greedy by coverage. *)
+    let minterms = ref [] in
+    for m = 0 to (1 lsl n) - 1 do
+      if Truth.get_bit tt m then minterms := m :: !minterms
+    done;
+    let uncovered = Hashtbl.create 64 in
+    List.iter (fun m -> Hashtbl.replace uncovered m ()) !minterms;
+    let chosen = ref [] in
+    let choose c =
+      chosen := c :: !chosen;
+      Hashtbl.iter
+        (fun m () -> if cube_covers c m then Hashtbl.remove uncovered m)
+        (Hashtbl.copy uncovered)
+    in
+    (* Essential primes: a minterm covered by exactly one prime. *)
+    List.iter
+      (fun m ->
+        if Hashtbl.mem uncovered m then begin
+          match List.filter (fun c -> cube_covers c m) primes with
+          | [ only ] when not (List.memq only !chosen) -> choose only
+          | _ -> ()
+        end)
+      !minterms;
+    (* Greedy: repeatedly take the prime covering the most remaining
+       minterms. *)
+    while Hashtbl.length uncovered > 0 do
+      let best = ref None in
+      List.iter
+        (fun c ->
+          let gain =
+            Hashtbl.fold
+              (fun m () acc -> if cube_covers c m then acc + 1 else acc)
+              uncovered 0
+          in
+          match !best with
+          | Some (g, _) when g >= gain -> ()
+          | _ -> if gain > 0 then best := Some (gain, c))
+        primes;
+      match !best with
+      | Some (_, c) -> choose c
+      | None -> Hashtbl.reset uncovered (* unreachable: primes cover the on-set *)
+    done;
+    List.rev !chosen
+
+let to_truth n cubes =
+  List.fold_left
+    (fun acc c ->
+      let cube_tt = ref (Truth.const n true) in
+      for i = 0 to n - 1 do
+        if c.mask land (1 lsl i) <> 0 then begin
+          let v = Truth.var n i in
+          let lit = if c.value land (1 lsl i) <> 0 then v else Truth.lognot v in
+          cube_tt := Truth.logand !cube_tt lit
+        end
+      done;
+      Truth.logor acc !cube_tt)
+    (Truth.const n false) cubes
+
+let cube_literals c =
+  let lits = ref [] in
+  let rec go i =
+    if 1 lsl i <= c.mask then begin
+      if c.mask land (1 lsl i) <> 0 then
+        lits := (i, c.value land (1 lsl i) <> 0) :: !lits;
+      go (i + 1)
+    end
+  in
+  go 0;
+  List.rev !lits
+
+let to_expr cubes = Bexpr.of_cubes (List.map cube_literals cubes)
+
+let minimize_expr n e = to_expr (minimize (Bexpr.to_truth n e))

@@ -1,0 +1,31 @@
+(** Two-level (sum-of-products) minimization — a Quine–McCluskey-style
+    prime-implicant cover with essential-prime extraction and greedy
+    covering. Intended for node-local functions (up to ~10
+    variables); the BLIF writer uses it to emit compact covers. *)
+
+type cube = {
+  mask : int;   (** bitset of cared variables *)
+  value : int;  (** required values on the cared variables *)
+}
+
+val cube_covers : cube -> int -> bool
+(** Whether a minterm satisfies the cube. *)
+
+val minimize : Truth.t -> cube list
+(** A prime-implicant cover of the function: every returned cube is a
+    prime implicant; together they cover exactly the on-set.
+    Constant-false yields [[]]; constant-true yields the universal
+    cube. *)
+
+val to_truth : int -> cube list -> Truth.t
+(** Rebuild the function from a cover (inverse of {!minimize}). *)
+
+val to_expr : cube list -> Bexpr.t
+(** The cover as a Boolean expression. *)
+
+val minimize_expr : int -> Bexpr.t -> Bexpr.t
+(** Two-level-minimize an expression of [n] variables (via its truth
+    table). *)
+
+val cube_literals : cube -> (int * bool) list
+(** The cube's literals as (variable, phase) pairs, ascending. *)

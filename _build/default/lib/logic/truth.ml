@@ -1,0 +1,228 @@
+(* Truth tables packed into int64 words. For n <= 6 a single word is
+   used and the bits above 2^n are kept zero-extended so that equality
+   and hashing can work word-wise. *)
+
+type t = { nvars : int; words : int64 array }
+
+let max_vars = 16
+
+exception Too_many_vars of int
+
+let check_nvars n =
+  if n < 0 || n > max_vars then raise (Too_many_vars n)
+
+let num_vars tt = tt.nvars
+
+let word_count n = if n <= 6 then 1 else 1 lsl (n - 6)
+
+(* Mask selecting the valid bits of the last word. *)
+let tail_mask n =
+  if n >= 6 then -1L else Int64.sub (Int64.shift_left 1L (1 lsl n)) 1L
+
+let normalize tt =
+  let words = tt.words in
+  let last = Array.length words - 1 in
+  words.(last) <- Int64.logand words.(last) (tail_mask tt.nvars);
+  tt
+
+let const n b =
+  check_nvars n;
+  let fill = if b then -1L else 0L in
+  normalize { nvars = n; words = Array.make (word_count n) fill }
+
+(* Periodic pattern of variable [i] within one 64-bit word, valid for
+   i <= 5; e.g. variable 0 is 0xAAAA...A. *)
+let var_word i =
+  match i with
+  | 0 -> 0xAAAAAAAAAAAAAAAAL
+  | 1 -> 0xCCCCCCCCCCCCCCCCL
+  | 2 -> 0xF0F0F0F0F0F0F0F0L
+  | 3 -> 0xFF00FF00FF00FF00L
+  | 4 -> 0xFFFF0000FFFF0000L
+  | 5 -> 0xFFFFFFFF00000000L
+  | _ -> invalid_arg "Truth.var_word"
+
+let var n i =
+  check_nvars n;
+  if i < 0 || i >= n then invalid_arg "Truth.var";
+  let w = word_count n in
+  let words =
+    if i <= 5 then Array.make w (var_word i)
+    else
+      (* Word j holds minterms [j*64, (j+1)*64): variable i is set when
+         bit (i - 6) of j is set. *)
+      Array.init w (fun j -> if j land (1 lsl (i - 6)) <> 0 then -1L else 0L)
+  in
+  normalize { nvars = n; words }
+
+let map2 op a b =
+  if a.nvars <> b.nvars then invalid_arg "Truth: arity mismatch";
+  normalize
+    { nvars = a.nvars; words = Array.map2 op a.words b.words }
+
+let lognot a =
+  normalize { nvars = a.nvars; words = Array.map Int64.lognot a.words }
+
+let logand = map2 Int64.logand
+let logor = map2 Int64.logor
+let logxor = map2 Int64.logxor
+let lognand a b = lognot (logand a b)
+let lognor a b = lognot (logor a b)
+let logxnor a b = lognot (logxor a b)
+
+let equal a b = a.nvars = b.nvars && a.words = b.words
+let compare a b = Stdlib.compare (a.nvars, a.words) (b.nvars, b.words)
+
+let hash a =
+  let h = ref (Hashtbl.hash a.nvars) in
+  Array.iter
+    (fun w -> h := (!h * 1000003) lxor Int64.to_int w lxor (Int64.to_int (Int64.shift_right_logical w 32)))
+    a.words;
+  !h land max_int
+
+let is_const a =
+  let ones = tail_mask a.nvars in
+  let last = Array.length a.words - 1 in
+  let all p = Array.for_all (fun w -> Int64.equal w p) (Array.sub a.words 0 last) in
+  if Int64.equal a.words.(last) 0L && all 0L then Some false
+  else if Int64.equal a.words.(last) ones && all (-1L) then Some true
+  else None
+
+let get_bit a m =
+  if m < 0 || m >= 1 lsl a.nvars then invalid_arg "Truth.get_bit";
+  let w = a.words.(m lsr 6) in
+  Int64.logand (Int64.shift_right_logical w (m land 63)) 1L <> 0L
+
+let set_bit a m b =
+  if m < 0 || m >= 1 lsl a.nvars then invalid_arg "Truth.set_bit";
+  let words = Array.copy a.words in
+  let mask = Int64.shift_left 1L (m land 63) in
+  words.(m lsr 6) <-
+    (if b then Int64.logor words.(m lsr 6) mask
+     else Int64.logand words.(m lsr 6) (Int64.lognot mask));
+  normalize { nvars = a.nvars; words }
+
+let eval a assignment =
+  if Array.length assignment < a.nvars then invalid_arg "Truth.eval";
+  let m = ref 0 in
+  for i = a.nvars - 1 downto 0 do
+    m := (!m lsl 1) lor (if assignment.(i) then 1 else 0)
+  done;
+  if a.nvars = 0 then get_bit a 0 else get_bit a !m
+
+let cofactor a i b =
+  if i < 0 || i >= a.nvars then invalid_arg "Truth.cofactor";
+  let vi = var a.nvars i in
+  if i <= 5 then begin
+    let shift = 1 lsl i in
+    let words =
+      Array.map
+        (fun w ->
+          if b then
+            let hi = Int64.logand w (var_word i) in
+            Int64.logor hi (Int64.shift_right_logical hi shift)
+          else
+            let lo = Int64.logand w (Int64.lognot (var_word i)) in
+            Int64.logor lo (Int64.shift_left lo shift))
+        a.words
+    in
+    normalize { nvars = a.nvars; words }
+  end
+  else begin
+    (* Copy whole words from the selected half into both halves. *)
+    let stride = 1 lsl (i - 6) in
+    let words = Array.copy a.words in
+    let n = Array.length words in
+    let j = ref 0 in
+    while !j < n do
+      for kk = 0 to stride - 1 do
+        let lo = !j + kk and hi = !j + stride + kk in
+        let src = if b then hi else lo in
+        words.(lo) <- a.words.(src);
+        words.(hi) <- a.words.(src)
+      done;
+      j := !j + (2 * stride)
+    done;
+    ignore vi;
+    normalize { nvars = a.nvars; words }
+  end
+
+let depends_on a i = not (equal (cofactor a i false) (cofactor a i true))
+
+let support a =
+  List.filter (depends_on a) (List.init a.nvars (fun i -> i))
+
+let of_minterms n ms =
+  check_nvars n;
+  List.fold_left (fun acc m -> set_bit acc m true) (const n false) ms
+
+let count_ones a =
+  let pop w =
+    let c = ref 0 in
+    for i = 0 to 63 do
+      if Int64.logand (Int64.shift_right_logical w i) 1L <> 0L then incr c
+    done;
+    !c
+  in
+  Array.fold_left (fun acc w -> acc + pop w) 0 a.words
+
+let permute a perm =
+  if Array.length perm <> a.nvars then invalid_arg "Truth.permute";
+  let n = a.nvars in
+  let result = ref (const n false) in
+  for m = 0 to (1 lsl n) - 1 do
+    if get_bit a m then begin
+      let m' = ref 0 in
+      for i = 0 to n - 1 do
+        if m land (1 lsl i) <> 0 then m' := !m' lor (1 lsl perm.(i))
+      done;
+      result := set_bit !result !m' true
+    end
+  done;
+  !result
+
+let expand a n placement =
+  check_nvars n;
+  if Array.length placement <> a.nvars then invalid_arg "Truth.expand";
+  (* Build by substitution: evaluate the function with each old
+     variable replaced by the projection of its new slot. *)
+  let rec go i acc_vars =
+    if i = a.nvars then acc_vars
+    else go (i + 1) (var n placement.(i) :: acc_vars)
+  in
+  let vars = Array.of_list (List.rev (go 0 [])) in
+  (* Shannon-style composition over minterms of the small function. *)
+  let result = ref (const n false) in
+  for m = 0 to (1 lsl a.nvars) - 1 do
+    if get_bit a m then begin
+      let cube = ref (const n true) in
+      for i = 0 to a.nvars - 1 do
+        let lit = if m land (1 lsl i) <> 0 then vars.(i) else lognot vars.(i) in
+        cube := logand !cube lit
+      done;
+      result := logor !result !cube
+    end
+  done;
+  !result
+
+let project a kept =
+  let s = Array.length kept in
+  check_nvars s;
+  let result = ref (const s false) in
+  for m = 0 to (1 lsl s) - 1 do
+    let big = ref 0 in
+    Array.iteri
+      (fun i v -> if m land (1 lsl i) <> 0 then big := !big lor (1 lsl v))
+      kept;
+    if get_bit a !big then result := set_bit !result m true
+  done;
+  !result
+
+let to_hex a =
+  let buf = Buffer.create (Array.length a.words * 16) in
+  for j = Array.length a.words - 1 downto 0 do
+    Buffer.add_string buf (Printf.sprintf "%016Lx" a.words.(j))
+  done;
+  Buffer.contents buf
+
+let pp ppf a = Format.fprintf ppf "%d'h%s" (1 lsl a.nvars) (to_hex a)

@@ -1,0 +1,1 @@
+lib/opt/netopt.ml: Array Bexpr Dagmap_logic Format Hashtbl List Network Truth

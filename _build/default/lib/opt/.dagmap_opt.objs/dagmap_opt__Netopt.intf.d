@@ -1,0 +1,1 @@
+lib/opt/netopt.mli: Dagmap_logic Format Network

@@ -1,0 +1,205 @@
+open Dagmap_logic
+
+type stats = {
+  nodes_before : int;
+  nodes_after : int;
+  constants_folded : int;
+  nodes_merged : int;
+  buffers_forwarded : int;
+  swept : int;
+}
+
+(* A resolved signal: a constant, or a (possibly complemented) node
+   of the output network. *)
+type signal =
+  | Sig_const of bool
+  | Sig_lit of int * bool
+
+let neg = function
+  | Sig_const b -> Sig_const (not b)
+  | Sig_lit (n, ph) -> Sig_lit (n, not ph)
+
+let run ~full net =
+  let out = Network.create ~name:(Network.name net) () in
+  let n_logic = ref 0 in
+  Network.iter_nodes net (fun n ->
+      if n.Network.kind = Network.Logic then incr n_logic);
+  let constants_folded = ref 0 in
+  let nodes_merged = ref 0 in
+  let buffers_forwarded = ref 0 in
+  let materialized = ref 0 in
+  (* Map original node -> signal in the output network, computed on
+     demand from the outputs so unreachable logic is swept. *)
+  let memo : (int, signal) Hashtbl.t = Hashtbl.create 64 in
+  (* Structural hashing of materialized nodes: function+fanins. *)
+  let strash : (string * int list, int) Hashtbl.t = Hashtbl.create 64 in
+  (* Pre-create the interface. *)
+  List.iter
+    (fun id ->
+      Hashtbl.replace memo id
+        (Sig_lit (Network.add_pi out (Network.node net id).Network.name, false)))
+    (Network.pis net);
+  let latch_pairs =
+    List.map
+      (fun l ->
+        let q =
+          Network.add_latch_output out
+            ~name:(Network.node net l.Network.latch_output).Network.name
+            ~init:l.Network.latch_init ()
+        in
+        Hashtbl.replace memo l.Network.latch_output (Sig_lit (q, false));
+        (l, q))
+      (Network.latches net)
+  in
+  (* Materialize a positive-phase node for a signal. *)
+  let inv_cache = Hashtbl.create 16 in
+  let node_of = function
+    | Sig_const _ -> invalid_arg "Netopt: constant at a structural position"
+    | Sig_lit (n, false) -> n
+    | Sig_lit (n, true) -> begin
+      match Hashtbl.find_opt inv_cache n with
+      | Some i -> i
+      | None ->
+        let i = Network.add_logic out Bexpr.(not_ (var 0)) [| n |] in
+        Hashtbl.replace inv_cache n i;
+        i
+    end
+  in
+  let rec resolve id =
+    match Hashtbl.find_opt memo id with
+    | Some s -> s
+    | None ->
+      let n = Network.node net id in
+      assert (n.Network.kind = Network.Logic);
+      let fanin_signals = Array.map resolve n.Network.fanins in
+      (* Substitute constants and deduplicate live fanins. *)
+      let live = ref [] in
+      let slot = Hashtbl.create 8 in
+      let substitution = Array.make (Array.length fanin_signals) (Bexpr.const false) in
+      Array.iteri
+        (fun i s ->
+          match s with
+          | Sig_const b -> substitution.(i) <- Bexpr.const b
+          | Sig_lit (node, ph) ->
+            let k =
+              match Hashtbl.find_opt slot node with
+              | Some k -> k
+              | None ->
+                let k = List.length !live in
+                Hashtbl.replace slot node k;
+                live := node :: !live;
+                k
+            in
+            substitution.(i) <- (if ph then Bexpr.not_ (Bexpr.var k) else Bexpr.var k))
+        fanin_signals;
+      let live = Array.of_list (List.rev !live) in
+      let expr = Bexpr.map_vars (fun i -> substitution.(i)) n.Network.expr in
+      let arity = Array.length live in
+      let signal =
+        if not full then
+          Sig_lit
+            (Network.add_logic out ~name:n.Network.name expr live, false)
+        else if arity = 0 || arity > 12 then begin
+          (match expr with
+           | Bexpr.Const b ->
+             incr constants_folded;
+             Hashtbl.replace memo id (Sig_const b);
+             Sig_const b
+           | _ ->
+             Sig_lit
+               (Network.add_logic out ~name:n.Network.name expr live, false))
+        end
+        else begin
+          let tt = Bexpr.to_truth arity expr in
+          match Truth.is_const tt with
+          | Some b ->
+            incr constants_folded;
+            Sig_const b
+          | None ->
+            (* Identity / complement of a single fanin? *)
+            let single =
+              if arity = 1 then
+                if Truth.equal tt (Truth.var 1 0) then Some false
+                else if Truth.equal tt (Truth.lognot (Truth.var 1 0)) then
+                  Some true
+                else None
+              else None
+            in
+            (match single with
+             | Some ph ->
+               incr buffers_forwarded;
+               if ph then neg (Sig_lit (live.(0), false))
+               else Sig_lit (live.(0), false)
+             | None ->
+               (* Canonical key: fanins sorted, table permuted to
+                  match, so permuted duplicates merge. *)
+               let order = Array.init arity (fun i -> i) in
+               Array.sort (fun i j -> compare live.(i) live.(j)) order;
+               let perm = Array.make arity 0 in
+               Array.iteri (fun pos i -> perm.(i) <- pos) order;
+               let canonical_tt = Truth.permute tt perm in
+               let sorted_live =
+                 List.sort compare (Array.to_list live)
+               in
+               let key = (Truth.to_hex canonical_tt, sorted_live) in
+               (match Hashtbl.find_opt strash key with
+                | Some existing ->
+                  incr nodes_merged;
+                  Sig_lit (existing, false)
+                | None ->
+                  let fresh =
+                    Network.add_logic out ~name:n.Network.name expr live
+                  in
+                  incr materialized;
+                  Hashtbl.replace strash key fresh;
+                  Sig_lit (fresh, false)))
+        end
+      in
+      Hashtbl.replace memo id signal;
+      signal
+  in
+  (* A PO or latch input needs a concrete node, even for constants. *)
+  let const_cache = Hashtbl.create 2 in
+  let force signal =
+    match signal with
+    | Sig_const b -> begin
+      match Hashtbl.find_opt const_cache b with
+      | Some n -> n
+      | None ->
+        let n = Network.add_logic out (Bexpr.const b) [||] in
+        Hashtbl.replace const_cache b n;
+        n
+    end
+    | Sig_lit _ -> node_of signal
+  in
+  List.iter
+    (fun (po, id) -> Network.add_po out po (force (resolve id)))
+    (Network.pos net);
+  List.iter
+    (fun (l, q) ->
+      Network.set_latch_input out ~latch_output:q
+        (force (resolve l.Network.latch_input)))
+    latch_pairs;
+  let n_after = ref 0 in
+  Network.iter_nodes out (fun n ->
+      if n.Network.kind = Network.Logic then incr n_after);
+  let reached = ref 0 in
+  Network.iter_nodes net (fun n ->
+      if n.Network.kind = Network.Logic && Hashtbl.mem memo n.Network.id then
+        incr reached);
+  ( out,
+    { nodes_before = !n_logic;
+      nodes_after = !n_after;
+      constants_folded = !constants_folded;
+      nodes_merged = !nodes_merged;
+      buffers_forwarded = !buffers_forwarded;
+      swept = !n_logic - !reached } )
+
+let optimize net = run ~full:true net
+let sweep_only net = run ~full:false net
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "logic %d -> %d (const %d, merged %d, forwarded %d, swept %d)"
+    s.nodes_before s.nodes_after s.constants_folded s.nodes_merged
+    s.buffers_forwarded s.swept

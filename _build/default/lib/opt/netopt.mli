@@ -1,0 +1,27 @@
+(** Technology-independent network cleanup passes, applied before
+    decomposition: constant propagation, structural hashing at node
+    granularity (merge nodes with identical function and fanins),
+    single-fanin forwarding (buffer/inverter absorption into users),
+    and sweep (drop logic no output depends on).
+
+    All passes preserve the observable functions (the test suite
+    checks equivalence by simulation) and the PI/PO/latch interface. *)
+
+open Dagmap_logic
+
+type stats = {
+  nodes_before : int;   (** logic nodes before *)
+  nodes_after : int;
+  constants_folded : int;
+  nodes_merged : int;
+  buffers_forwarded : int;
+  swept : int;
+}
+
+val optimize : Network.t -> Network.t * stats
+(** Run all passes to fixpoint (bounded) and rebuild the network. *)
+
+val sweep_only : Network.t -> Network.t * stats
+(** Only remove unreachable logic. *)
+
+val pp_stats : Format.formatter -> stats -> unit

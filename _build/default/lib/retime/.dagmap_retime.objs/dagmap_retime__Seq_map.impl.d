@@ -1,0 +1,1 @@
+lib/retime/seq_map.ml: Array Dagmap_core Dagmap_genlib Dagmap_logic Dagmap_subject Gate Hashtbl List Mapper Netlist Network Retiming Subject

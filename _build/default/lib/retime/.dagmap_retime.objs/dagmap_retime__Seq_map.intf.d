@@ -1,0 +1,1 @@
+lib/retime/seq_map.mli: Dagmap_core Dagmap_logic Mapper Matchdb Netlist Network Retiming

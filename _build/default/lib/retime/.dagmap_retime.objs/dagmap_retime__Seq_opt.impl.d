@@ -1,0 +1,1 @@
+lib/retime/seq_opt.ml: Array Dagmap_core Dagmap_genlib Dagmap_subject Float Hashtbl List Mapper Matchdb Seq_map Subject

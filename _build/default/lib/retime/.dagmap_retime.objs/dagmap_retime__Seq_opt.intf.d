@@ -1,0 +1,1 @@
+lib/retime/seq_opt.mli: Dagmap_core Dagmap_logic Mapper Matchdb Network

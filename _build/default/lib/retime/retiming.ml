@@ -1,0 +1,159 @@
+type edge = { src : int; dst : int; weight : int }
+
+type graph = {
+  mutable delays : float array;
+  mutable count : int;
+  mutable edges : edge list;
+  mutable out_edges : edge list array;
+}
+
+let host = 0
+
+let create () =
+  { delays = Array.make 16 0.0; count = 1; edges = []; out_edges = [||] }
+
+let add_vertex g ~delay =
+  if g.count = Array.length g.delays then begin
+    let d = Array.make (2 * g.count) 0.0 in
+    Array.blit g.delays 0 d 0 g.count;
+    g.delays <- d
+  end;
+  let v = g.count in
+  g.delays.(v) <- delay;
+  g.count <- v + 1;
+  v
+
+let add_edge g u v ~weight =
+  if u < 0 || u >= g.count || v < 0 || v >= g.count then
+    invalid_arg "Retiming.add_edge";
+  if weight < 0 then invalid_arg "Retiming.add_edge: negative weight";
+  g.edges <- { src = u; dst = v; weight } :: g.edges;
+  g.out_edges <- [||] (* invalidate cache *)
+
+let num_vertices g = g.count
+
+let out_edges g =
+  if Array.length g.out_edges <> g.count then begin
+    let arr = Array.make g.count [] in
+    List.iter (fun e -> arr.(e.src) <- e :: arr.(e.src)) g.edges;
+    g.out_edges <- arr
+  end;
+  g.out_edges
+
+let w_r r e = e.weight + r.(e.dst) - r.(e.src)
+
+let identity g = Array.make g.count 0
+
+(* Delta(v): arrival time at the output of v along zero-weight paths
+   under retiming r. The host vertex is the environment: signals are
+   resynchronized there, so arrival does not propagate through it
+   (otherwise every PO-to-PI pair would form a spurious path).
+   Computed by topological traversal of the zero-weight subgraph;
+   raises on a zero-weight cycle. *)
+let deltas g r =
+  let adj = out_edges g in
+  let propagates e = w_r r e = 0 && e.src <> host in
+  let indeg = Array.make g.count 0 in
+  List.iter (fun e -> if propagates e then indeg.(e.dst) <- indeg.(e.dst) + 1) g.edges;
+  let delta = Array.mapi (fun v _ -> g.delays.(v)) (Array.sub g.delays 0 g.count) in
+  let q = Queue.create () in
+  for v = 0 to g.count - 1 do
+    if indeg.(v) = 0 then Queue.add v q
+  done;
+  let seen = ref 0 in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    incr seen;
+    List.iter
+      (fun e ->
+        if propagates e then begin
+          if delta.(u) +. g.delays.(e.dst) > delta.(e.dst) then
+            delta.(e.dst) <- delta.(u) +. g.delays.(e.dst);
+          indeg.(e.dst) <- indeg.(e.dst) - 1;
+          if indeg.(e.dst) = 0 then Queue.add e.dst q
+        end)
+      adj.(u)
+  done;
+  if !seen <> g.count then failwith "Retiming: zero-weight cycle";
+  delta
+
+let clock_period g ?retiming () =
+  let r = match retiming with Some r -> r | None -> identity g in
+  Array.fold_left Float.max 0.0 (deltas g r)
+
+let is_legal g r =
+  r.(host) = 0 && List.for_all (fun e -> w_r r e >= 0) g.edges
+
+(* FEAS (Leiserson-Saxe): starting from r = 0, repeatedly increment
+   the lag of every vertex whose arrival exceeds the target period.
+   Converges within |V| iterations when the period is feasible. *)
+let feasible g target =
+  let r = identity g in
+  let rec iterate remaining =
+    match deltas g r with
+    | exception Failure _ -> None
+    | delta ->
+      let violated = ref false in
+      for v = 1 to g.count - 1 do
+        if delta.(v) > target +. 1e-9 then begin
+          violated := true;
+          r.(v) <- r.(v) + 1
+        end
+      done;
+      if not !violated then if is_legal g r then Some (Array.copy r) else None
+      else if remaining = 0 then None
+      else iterate (remaining - 1)
+  in
+  iterate g.count
+
+let min_period ?(tolerance = 1e-4) g =
+  let r0 = identity g in
+  let upper = clock_period g () in
+  let lower = Array.fold_left Float.max 0.0 (Array.sub g.delays 0 g.count) in
+  let best = ref (upper, r0) in
+  let rec search lo hi remaining =
+    if remaining = 0 || hi -. lo <= tolerance then ()
+    else begin
+      let mid = (lo +. hi) /. 2.0 in
+      match feasible g mid with
+      | Some r ->
+        let achieved = clock_period g ~retiming:r () in
+        let best_period, _ = !best in
+        if achieved < best_period then best := (achieved, r);
+        search lo (Float.min mid achieved) (remaining - 1)
+      | None -> search mid hi (remaining - 1)
+    end
+  in
+  search lower upper 50;
+  !best
+
+let retimed_weight g r f = List.iter (fun e -> f e.src e.dst (w_r r e)) g.edges
+
+let total_latches g r =
+  List.fold_left (fun acc e -> acc + w_r r e) 0 g.edges
+
+let reduce_latches g ~period r0 =
+  let r = Array.copy r0 in
+  let acceptable candidate =
+    is_legal g candidate
+    &&
+    match clock_period g ~retiming:candidate () with
+    | p -> p <= period +. 1e-9
+    | exception Failure _ -> false
+  in
+  let improved = ref true in
+  let guard = ref (4 * g.count * g.count) in
+  while !improved && !guard > 0 do
+    improved := false;
+    for v = 1 to g.count - 1 do
+      List.iter
+        (fun delta ->
+          decr guard;
+          let before = total_latches g r in
+          r.(v) <- r.(v) + delta;
+          if acceptable r && total_latches g r < before then improved := true
+          else r.(v) <- r.(v) - delta)
+        [ 1; -1 ]
+    done
+  done;
+  r

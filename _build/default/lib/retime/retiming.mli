@@ -1,0 +1,56 @@
+(** Leiserson–Saxe retiming on weighted circuit graphs.
+
+    A vertex carries a propagation delay; an edge weight counts the
+    latches on that connection. A retiming assigns each vertex an
+    integer lag [r(v)]; the retimed weight of an edge [(u, v)] is
+    [w(e) + r(v) - r(u)], which must stay non-negative. Vertex 0 is
+    the host (environment) vertex with [r = 0], to which primary
+    inputs and outputs are anchored.
+
+    Minimum-period retiming uses the FEAS feasibility test (repeated
+    incremental clock-scheduling) inside a binary search over the
+    period, which handles real-valued gate delays. *)
+
+type graph
+
+val create : unit -> graph
+(** Creates the graph with the host vertex (index 0, zero delay). *)
+
+val host : int
+
+val add_vertex : graph -> delay:float -> int
+
+val add_edge : graph -> int -> int -> weight:int -> unit
+(** Latch-weighted connection from a driver to a consumer. *)
+
+val num_vertices : graph -> int
+
+val clock_period : graph -> ?retiming:int array -> unit -> float
+(** Longest purely-combinational (zero-weight) path delay under the
+    given retiming (default: identity). Raises [Failure] if the
+    zero-weight subgraph is cyclic (an illegal circuit). *)
+
+val feasible : graph -> float -> int array option
+(** [feasible g c] runs FEAS: [Some r] when a legal retiming with
+    period at most [c] exists. *)
+
+val min_period : ?tolerance:float -> graph -> float * int array
+(** Binary search over the period (default tolerance 1e-4); returns
+    the best achieved period and its retiming vector. *)
+
+val is_legal : graph -> int array -> bool
+(** All retimed edge weights non-negative and [r host = 0]. *)
+
+val retimed_weight : graph -> int array -> (int -> int -> int -> unit) -> unit
+(** Iterate edges as [(u, v, new_weight)] under a retiming. *)
+
+val total_latches : graph -> int array -> int
+(** Sum of retimed edge weights (latch count after retiming). *)
+
+val reduce_latches : graph -> period:float -> int array -> int array
+(** Greedy register-count reduction: starting from a legal retiming,
+    repeatedly adjust individual lags by ±1 whenever that lowers the
+    total latch count while keeping legality and the given clock
+    period. Returns a new retiming (the input is not modified).
+    min-period retimings often carry far more registers than needed;
+    this recovers most of the excess. *)

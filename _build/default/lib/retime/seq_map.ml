@@ -1,0 +1,203 @@
+open Dagmap_logic
+open Dagmap_genlib
+open Dagmap_subject
+open Dagmap_core
+
+type result = {
+  netlist : Netlist.t;
+  comb_delay : float;
+  period_before : float;
+  period_after : float;
+  latches_before : int;
+  latches_after : int;
+}
+
+(* Resolve a network signal through latch chains: returns the driving
+   logic node (or PI) and the number of latches traversed. *)
+let resolve_through_latches net id =
+  let latch_of_output = Hashtbl.create 16 in
+  List.iter
+    (fun l -> Hashtbl.replace latch_of_output l.Network.latch_output l)
+    (Network.latches net);
+  let rec go id weight guard =
+    if guard > Network.num_nodes net then
+      failwith "Seq_map: latch ring without logic";
+    match (Network.node net id).Network.kind with
+    | Network.Latch_out ->
+      let l = Hashtbl.find latch_of_output id in
+      go l.Network.latch_input (weight + 1) (guard + 1)
+    | Network.Pi | Network.Logic -> (id, weight)
+  in
+  go id 0 0
+
+let network_graph net =
+  let g = Retiming.create () in
+  let vertex = Array.make (Network.num_nodes net) (-1) in
+  Network.iter_nodes net (fun n ->
+      match n.Network.kind with
+      | Network.Logic -> vertex.(n.Network.id) <- Retiming.add_vertex g ~delay:1.0
+      | Network.Pi | Network.Latch_out -> ());
+  let endpoint id =
+    let src, weight = resolve_through_latches net id in
+    match (Network.node net src).Network.kind with
+    | Network.Pi -> (Retiming.host, weight)
+    | Network.Logic -> (vertex.(src), weight)
+    | Network.Latch_out -> assert false
+  in
+  Network.iter_nodes net (fun n ->
+      match n.Network.kind with
+      | Network.Pi | Network.Latch_out -> ()
+      | Network.Logic ->
+        Array.iter
+          (fun f ->
+            let src, weight = endpoint f in
+            Retiming.add_edge g src vertex.(n.Network.id) ~weight)
+          n.Network.fanins);
+  List.iter
+    (fun (_, id) ->
+      let src, weight = endpoint id in
+      Retiming.add_edge g src Retiming.host ~weight)
+    (Network.pos net);
+  (g, vertex)
+
+let apply_network_retiming net r =
+  let g, vertex = network_graph net in
+  if not (Retiming.is_legal g r) then invalid_arg "apply_network_retiming";
+  ignore g;
+  let out = Network.create ~name:(Network.name net ^ "_retimed") () in
+  let remap = Array.make (Network.num_nodes net) (-1) in
+  List.iter
+    (fun id ->
+      remap.(id) <- Network.add_pi out (Network.node net id).Network.name)
+    (Network.pis net);
+  (* Weight of the retimed connection feeding consumer [v] from the
+     resolved source of original signal [id]. *)
+  let latched_signal id consumer_vertex =
+    let src, w = resolve_through_latches net id in
+    let src_vertex =
+      match (Network.node net src).Network.kind with
+      | Network.Pi -> Retiming.host
+      | Network.Logic -> vertex.(src)
+      | Network.Latch_out -> assert false
+    in
+    let w' = w + r.(consumer_vertex) - r.(src_vertex) in
+    if w' < 0 then invalid_arg "apply_network_retiming: negative weight";
+    (src, w')
+  in
+  let latch_cache = Hashtbl.create 16 in
+  let rec with_latches src_new k =
+    if k = 0 then src_new
+    else
+      match Hashtbl.find_opt latch_cache (src_new, k) with
+      | Some id -> id
+      | None ->
+        let below = with_latches src_new (k - 1) in
+        let id = Network.add_latch out below in
+        Hashtbl.replace latch_cache (src_new, k) id;
+        id
+  in
+  List.iter
+    (fun id ->
+      let n = Network.node net id in
+      match n.Network.kind with
+      | Network.Pi | Network.Latch_out -> ()
+      | Network.Logic ->
+        let fanins =
+          Array.map
+            (fun f ->
+              let src, w = latched_signal f vertex.(id) in
+              with_latches remap.(src) w)
+            n.Network.fanins
+        in
+        remap.(id) <- Network.add_logic out ~name:n.Network.name n.Network.expr fanins)
+    (Network.topological_order net);
+  List.iter
+    (fun (po, id) ->
+      let src, w = latched_signal id Retiming.host in
+      Network.add_po out po (with_latches remap.(src) w))
+    (Network.pos net);
+  out
+
+let netlist_graph nl =
+  let g = Retiming.create () in
+  let src_graph = nl.Netlist.source in
+  let n_latches = src_graph.Subject.n_latches in
+  let pis = Subject.pi_ids src_graph in
+  let n_pis = List.length pis in
+  (* The trailing [n_latches] subject PIs are latch outputs; the
+     trailing [n_latches] named outputs are the matching latch
+     inputs. *)
+  let latch_index_of_pi = Hashtbl.create 16 in
+  List.iteri
+    (fun i id ->
+      if i >= n_pis - n_latches then
+        Hashtbl.replace latch_index_of_pi id (i - (n_pis - n_latches)))
+    pis;
+  let latch_in_driver = Array.make (max n_latches 1) (Netlist.D_const false) in
+  List.iteri
+    (fun i (_, d) ->
+      let n_outs = List.length nl.Netlist.outputs in
+      if i >= n_outs - n_latches then latch_in_driver.(i - (n_outs - n_latches)) <- d)
+    nl.Netlist.outputs;
+  let vertex =
+    Array.map
+      (fun inst ->
+        ignore inst;
+        0)
+      nl.Netlist.instances
+  in
+  Array.iteri
+    (fun i inst ->
+      vertex.(i) <-
+        Retiming.add_vertex g ~delay:(Gate.max_intrinsic_delay inst.Netlist.gate))
+    nl.Netlist.instances;
+  (* Resolve a driver to (vertex, latch weight), following latch
+     boundaries transitively. *)
+  let rec resolve d weight guard =
+    if guard > Array.length nl.Netlist.instances + n_latches + 1 then
+      failwith "Seq_map: latch ring without logic";
+    match d with
+    | Netlist.D_const _ -> None
+    | Netlist.D_gate j -> Some (vertex.(j), weight)
+    | Netlist.D_pi id -> begin
+      match Hashtbl.find_opt latch_index_of_pi id with
+      | None -> Some (Retiming.host, weight)
+      | Some k -> resolve latch_in_driver.(k) (weight + 1) (guard + 1)
+    end
+  in
+  Array.iteri
+    (fun i inst ->
+      Array.iter
+        (fun d ->
+          match resolve d 0 0 with
+          | None -> ()
+          | Some (src, weight) -> Retiming.add_edge g src vertex.(i) ~weight)
+        inst.Netlist.inputs)
+    nl.Netlist.instances;
+  (* True primary outputs anchor to the host. *)
+  let n_outs = List.length nl.Netlist.outputs in
+  List.iteri
+    (fun i (_, d) ->
+      if i < n_outs - n_latches then
+        match resolve d 0 0 with
+        | None -> ()
+        | Some (src, weight) -> Retiming.add_edge g src Retiming.host ~weight)
+    nl.Netlist.outputs;
+  g
+
+let run db mode net =
+  let sg = Subject.of_network net in
+  let mapped = Mapper.map mode db sg in
+  let nl = mapped.Mapper.netlist in
+  let g = netlist_graph nl in
+  let period_before = Retiming.clock_period g () in
+  let period_after, r = Retiming.min_period g in
+  (* Min-period retimings typically carry excess registers; trim them
+     greedily without giving up the period. *)
+  let r = Retiming.reduce_latches g ~period:period_after r in
+  { netlist = nl;
+    comb_delay = Netlist.delay nl;
+    period_before;
+    period_after;
+    latches_before = Retiming.total_latches g (Array.make (Retiming.num_vertices g) 0);
+    latches_after = Retiming.total_latches g r }

@@ -1,0 +1,40 @@
+(** Sequential technology mapping (paper §4): the three-step
+    transformation — retime, map the combinational core, retime the
+    mapped circuit — with minimum-period retiming at both ends.
+
+    The paper shows the FlowMap-style labeling extends to an exact
+    polynomial algorithm (Pan & Liu); here we implement the
+    transformation it evaluates, with Leiserson–Saxe min-period
+    retiming as the optimization engine on both sides of the mapping
+    step. Latch initial values after retiming are not computed
+    (initial-state justification is orthogonal and out of scope). *)
+
+open Dagmap_logic
+open Dagmap_core
+
+type result = {
+  netlist : Netlist.t;           (** mapped combinational core *)
+  comb_delay : float;            (** pure combinational delay of the core *)
+  period_before : float;         (** mapped circuit, latches in original places *)
+  period_after : float;          (** after min-period retiming of the mapped circuit *)
+  latches_before : int;
+  latches_after : int;
+}
+
+val network_graph : Network.t -> Retiming.graph * int array
+(** Retiming graph of a (sequential) network at logic-node
+    granularity with unit delays; the array maps network node id to
+    graph vertex (or -1). Latch chains become edge weights. *)
+
+val netlist_graph : Netlist.t -> Retiming.graph
+(** Retiming graph of a mapped netlist: one vertex per instance,
+    delay = worst intrinsic delay of the gate; latch boundaries of
+    the underlying subject graph become weight-1 edges. *)
+
+val apply_network_retiming : Network.t -> int array -> Network.t
+(** Rebuild a network with latches moved according to a legal
+    retiming of {!network_graph} (initial values set to false). *)
+
+val run : Matchdb.t -> Mapper.mode -> Network.t -> result
+(** Map the combinational core with the given mapper and retime the
+    mapped circuit to its minimum period. *)

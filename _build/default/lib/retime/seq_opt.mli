@@ -1,0 +1,38 @@
+(** Optimal cycle-time sequential mapping — the Pan & Liu decision
+    procedure the paper's §4 builds on, with pattern matching in
+    place of k-cut flow computations.
+
+    For a target period [phi], label the cyclic circuit with
+    sequential arrival times: crossing a latch subtracts [phi]
+    (equivalently, the latch may be retimed anywhere along the path).
+    The combinational core is labeled by the mapper's own dynamic
+    program; latch-output arrivals feed back as
+    [arrival(latch input) - phi]. The labeling is a monotone
+    fixpoint computation: convergence with all true primary outputs
+    arriving within [phi] means some combination of retiming and
+    mapping achieves the period; divergence means none does.
+    A binary search then finds the minimum period.
+
+    This strictly generalizes the three-step transformation of
+    {!Seq_map} (map, then retime): the test suite checks
+    [min_period <= Seq_map.run period_after + eps]. Only the
+    decision procedure and the optimal period are provided (the
+    paper, too, omits construction details "due to page
+    limitation"). *)
+
+open Dagmap_logic
+open Dagmap_core
+
+type verdict =
+  | Feasible of { latch_arrivals : float array }
+  | Infeasible
+
+val check_period :
+  Matchdb.t -> Mapper.mode -> Network.t -> float -> verdict
+(** Decide whether period [phi] is achievable by mapping plus
+    retiming. *)
+
+val min_period :
+  ?tolerance:float -> Matchdb.t -> Mapper.mode -> Network.t -> float
+(** Binary search for the minimum achievable period (default
+    tolerance 1e-3). *)

@@ -1,0 +1,1 @@
+lib/sim/equiv.ml: Array Format Int64 List Random Simulate String

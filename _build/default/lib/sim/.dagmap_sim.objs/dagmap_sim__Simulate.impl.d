@@ -1,0 +1,1 @@
+lib/sim/simulate.ml: Array Bexpr Dagmap_core Dagmap_genlib Dagmap_logic Dagmap_subject Hashtbl Int64 List Netlist Network Printf Random Subject

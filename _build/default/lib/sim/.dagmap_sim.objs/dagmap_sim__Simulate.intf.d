@@ -1,0 +1,1 @@
+lib/sim/simulate.mli: Dagmap_core Dagmap_logic Dagmap_subject Netlist Network Random Subject

@@ -1,0 +1,73 @@
+type verdict =
+  | Equivalent
+  | Counterexample of { output : string; inputs : bool array }
+  | Output_mismatch of { missing : string list; extra : string list }
+
+let lane_inputs words lane =
+  Array.map
+    (fun w -> Int64.logand (Int64.shift_right_logical w lane) 1L <> 0L)
+    words
+
+let compare_round words r1 r2 =
+  let missing =
+    List.filter_map
+      (fun (name, _) ->
+        if List.mem_assoc name r2 then None else Some name)
+      r1
+  in
+  if missing <> [] then
+    let extra =
+      List.filter_map
+        (fun (name, _) ->
+          if List.mem_assoc name r1 then None else Some name)
+        r2
+    in
+    Some (Output_mismatch { missing; extra })
+  else
+    let rec check = function
+      | [] -> None
+      | (name, w1) :: rest ->
+        let w2 = List.assoc name r2 in
+        if Int64.equal w1 w2 then check rest
+        else begin
+          let diff = Int64.logxor w1 w2 in
+          let rec first_lane k =
+            if Int64.logand (Int64.shift_right_logical diff k) 1L <> 0L then k
+            else first_lane (k + 1)
+          in
+          let lane = first_lane 0 in
+          Some (Counterexample { output = name; inputs = lane_inputs words lane })
+        end
+    in
+    check r1
+
+let compare_sims ?(rounds = 16) ?(seed = 0x5eed) ~n_inputs sim1 sim2 =
+  let st = Random.State.make [| seed |] in
+  let extremes =
+    [ Array.make (max n_inputs 1) 0L; Array.make (max n_inputs 1) (-1L) ]
+  in
+  let random_round _ = Simulate.random_words st (max n_inputs 1) in
+  let all_rounds = extremes @ List.init rounds random_round in
+  let rec run = function
+    | [] -> Equivalent
+    | words :: rest -> begin
+      match compare_round words (sim1 words) (sim2 words) with
+      | None -> run rest
+      | Some verdict -> verdict
+    end
+  in
+  run all_rounds
+
+let pp_verdict ppf = function
+  | Equivalent -> Format.fprintf ppf "equivalent"
+  | Counterexample { output; inputs } ->
+    Format.fprintf ppf "counterexample on %s with inputs [%s]" output
+      (String.concat ""
+         (Array.to_list (Array.map (fun b -> if b then "1" else "0") inputs)))
+  | Output_mismatch { missing; extra } ->
+    Format.fprintf ppf "output sets differ: missing=[%s] extra=[%s]"
+      (String.concat ";" missing) (String.concat ";" extra)
+
+let is_equivalent = function
+  | Equivalent -> true
+  | Counterexample _ | Output_mismatch _ -> false

@@ -1,0 +1,114 @@
+open Dagmap_logic
+open Dagmap_subject
+open Dagmap_core
+
+let num_inputs_network net =
+  List.length (Network.pis net) + List.length (Network.latches net)
+
+let rec eval_expr (values : int64 array) (e : Bexpr.t) : int64 =
+  match e with
+  | Bexpr.Const true -> -1L
+  | Bexpr.Const false -> 0L
+  | Bexpr.Var i -> values.(i)
+  | Bexpr.Not a -> Int64.lognot (eval_expr values a)
+  | Bexpr.And (a, b) -> Int64.logand (eval_expr values a) (eval_expr values b)
+  | Bexpr.Or (a, b) -> Int64.logor (eval_expr values a) (eval_expr values b)
+  | Bexpr.Xor (a, b) -> Int64.logxor (eval_expr values a) (eval_expr values b)
+
+let network net inputs =
+  if Array.length inputs < num_inputs_network net then
+    invalid_arg "Simulate.network: not enough input words";
+  let value = Array.make (Network.num_nodes net) 0L in
+  List.iteri (fun k id -> value.(id) <- inputs.(k)) (Network.pis net);
+  let n_pis = List.length (Network.pis net) in
+  List.iteri
+    (fun k l -> value.(l.Network.latch_output) <- inputs.(n_pis + k))
+    (Network.latches net);
+  List.iter
+    (fun id ->
+      let n = Network.node net id in
+      match n.Network.kind with
+      | Network.Pi | Network.Latch_out -> ()
+      | Network.Logic ->
+        let local = Array.map (fun f -> value.(f)) n.Network.fanins in
+        value.(id) <- eval_expr local n.Network.expr)
+    (Network.topological_order net);
+  List.map (fun (name, id) -> (name, value.(id))) (Network.pos net)
+  @ List.mapi
+      (fun i l -> (Printf.sprintf "$latch_in%d" i, value.(l.Network.latch_input)))
+      (Network.latches net)
+
+let subject g inputs =
+  let pis = Subject.pi_ids g in
+  if Array.length inputs < List.length pis then
+    invalid_arg "Simulate.subject: not enough input words";
+  let value = Array.make (Subject.num_nodes g) 0L in
+  List.iteri (fun k id -> value.(id) <- inputs.(k)) pis;
+  for i = 0 to Subject.num_nodes g - 1 do
+    match Subject.kind g i with
+    | Subject.Spi -> ()
+    | Subject.Sinv x -> value.(i) <- Int64.lognot value.(x)
+    | Subject.Snand (x, y) ->
+      value.(i) <- Int64.lognot (Int64.logand value.(x) value.(y))
+  done;
+  List.map (fun o -> (o.Subject.out_name, value.(o.Subject.out_node))) g.Subject.outputs
+  @ List.map
+      (fun (name, b) -> (name, if b then -1L else 0L))
+      g.Subject.const_outputs
+
+(* Word-level evaluation of a gate truth table: select, for each of
+   the 64 lanes, the table bit addressed by the lane's input bits. *)
+let eval_gate_word func inputs =
+  let n = Array.length inputs in
+  let out = ref 0L in
+  for lane = 0 to 63 do
+    let idx = ref 0 in
+    for pin = 0 to n - 1 do
+      if Int64.logand (Int64.shift_right_logical inputs.(pin) lane) 1L <> 0L
+      then idx := !idx lor (1 lsl pin)
+    done;
+    if Dagmap_logic.Truth.get_bit func !idx then
+      out := Int64.logor !out (Int64.shift_left 1L lane)
+  done;
+  !out
+
+let netlist nl inputs =
+  let pis = Subject.pi_ids nl.Netlist.source in
+  if Array.length inputs < List.length pis then
+    invalid_arg "Simulate.netlist: not enough input words";
+  let pi_value = Hashtbl.create 16 in
+  List.iteri (fun k id -> Hashtbl.replace pi_value id inputs.(k)) pis;
+  let n = Array.length nl.Netlist.instances in
+  let value = Array.make n 0L in
+  let computed = Array.make n false in
+  let driver_value = function
+    | Netlist.D_const true -> -1L
+    | Netlist.D_const false -> 0L
+    | Netlist.D_pi id -> Hashtbl.find pi_value id
+    | Netlist.D_gate j -> value.(j)
+  in
+  (* Instances may be stored in any order; resolve dependencies with
+     an explicit stack to stay safe on deep netlists. *)
+  let rec compute i =
+    if not computed.(i) then begin
+      Array.iter
+        (function Netlist.D_gate j -> compute j | Netlist.D_pi _ | Netlist.D_const _ -> ())
+        nl.Netlist.instances.(i).Netlist.inputs;
+      let words = Array.map driver_value nl.Netlist.instances.(i).Netlist.inputs in
+      value.(i) <- eval_gate_word nl.Netlist.instances.(i).Netlist.gate.Dagmap_genlib.Gate.func words;
+      computed.(i) <- true
+    end
+  in
+  for i = 0 to n - 1 do
+    compute i
+  done;
+  List.map (fun (name, d) -> (name, driver_value d)) nl.Netlist.outputs
+
+let random_words st n =
+  Array.init n (fun _ ->
+      let hi = Int64.of_int (Random.State.bits st) in
+      let mid = Int64.of_int (Random.State.bits st) in
+      let lo = Int64.of_int (Random.State.bits st) in
+      Int64.logxor
+        (Int64.shift_left hi 40)
+        (Int64.logxor (Int64.shift_left mid 20) lo))

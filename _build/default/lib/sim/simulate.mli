@@ -1,0 +1,26 @@
+(** Bit-parallel logic simulation.
+
+    All simulators evaluate 64 input assignments at once: each input
+    is a 64-bit word whose bit [k] is the input's value in assignment
+    [k]. Input order follows the subject PI contract: network PIs in
+    declaration order, then latch outputs. *)
+
+open Dagmap_logic
+open Dagmap_subject
+open Dagmap_core
+
+val network : Network.t -> int64 array -> (string * int64) list
+(** Evaluate primary (and latch-input pseudo-) outputs of a network.
+    The input array covers PIs then latch outputs; latch inputs are
+    reported as [$latch_in<i>] pseudo-outputs, matching
+    {!Subject.of_network} naming. *)
+
+val subject : Subject.t -> int64 array -> (string * int64) list
+
+val netlist : Netlist.t -> int64 array -> (string * int64) list
+
+val num_inputs_network : Network.t -> int
+(** PIs plus latch outputs. *)
+
+val random_words : Random.State.t -> int -> int64 array
+(** [random_words st n] draws [n] uniform 64-bit words. *)

@@ -1,0 +1,1 @@
+lib/subject/subject.ml: Array Bexpr Buffer Dagmap_logic Hashtbl List Network Printf

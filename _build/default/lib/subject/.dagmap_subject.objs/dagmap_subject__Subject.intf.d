@@ -1,0 +1,1 @@
+lib/subject/subject.mli: Dagmap_logic Network

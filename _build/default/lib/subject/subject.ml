@@ -1,0 +1,351 @@
+open Dagmap_logic
+
+type kind =
+  | Spi
+  | Snand of int * int
+  | Sinv of int
+
+type output = { out_name : string; out_node : int }
+
+type t = {
+  kinds : kind array;
+  names : string array;
+  outputs : output list;
+  const_outputs : (string * bool) list;
+  num_pis : int;
+  n_latches : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Builder = struct
+  type graph = t
+
+  type t = {
+    mutable kinds_rev : kind list;
+    mutable names_rev : string list;
+    mutable count : int;
+    mutable pis : int;
+    mutable outs_rev : output list;
+    mutable consts_rev : (string * bool) list;
+    hash : (kind, int) Hashtbl.t;
+    by_index : (int, kind) Hashtbl.t;
+  }
+
+  let create () =
+    { kinds_rev = []; names_rev = []; count = 0; pis = 0; outs_rev = [];
+      consts_rev = []; hash = Hashtbl.create 64; by_index = Hashtbl.create 64 }
+
+  let push b k name =
+    let id = b.count in
+    b.count <- id + 1;
+    b.kinds_rev <- k :: b.kinds_rev;
+    b.names_rev <- name :: b.names_rev;
+    Hashtbl.add b.by_index id k;
+    id
+
+  let pi b name =
+    b.pis <- b.pis + 1;
+    push b Spi name
+
+  let check b i =
+    if i < 0 || i >= b.count then invalid_arg "Subject.Builder: bad node id"
+
+  let hashed b k name =
+    match Hashtbl.find_opt b.hash k with
+    | Some id -> id
+    | None ->
+      let id = push b k name in
+      Hashtbl.add b.hash k id;
+      id
+
+  let inv b x =
+    check b x;
+    match Hashtbl.find b.by_index x with
+    | Sinv y -> y
+    | Spi | Snand _ -> hashed b (Sinv x) (Printf.sprintf "g%d" b.count)
+
+  (* nand(x, x) = !x: folding it keeps every node matchable under the
+     one-to-one (standard) match class, where a NAND with coincident
+     fanins could otherwise only match via extended matches. *)
+  let nand b x y =
+    check b x;
+    check b y;
+    if x = y then inv b x
+    else
+      let x, y = if x <= y then (x, y) else (y, x) in
+      hashed b (Snand (x, y)) (Printf.sprintf "g%d" b.count)
+
+  let raw_nand b x y =
+    check b x;
+    check b y;
+    push b (Snand (x, y)) (Printf.sprintf "g%d" b.count)
+
+  let raw_inv b x =
+    check b x;
+    push b (Sinv x) (Printf.sprintf "g%d" b.count)
+
+  let output b name node =
+    check b node;
+    b.outs_rev <- { out_name = name; out_node = node } :: b.outs_rev
+
+  let const_output b name value = b.consts_rev <- (name, value) :: b.consts_rev
+
+  let finish ?(n_latches = 0) b =
+    { kinds = Array.of_list (List.rev b.kinds_rev);
+      names = Array.of_list (List.rev b.names_rev);
+      outputs = List.rev b.outs_rev;
+      const_outputs = List.rev b.consts_rev;
+      num_pis = b.pis;
+      n_latches }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Decomposition                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Signals during decomposition: a subject literal or a constant.
+   Literals carry a phase so De Morgan transfers inversions to where
+   they are absorbed by NAND inputs. *)
+type signal =
+  | Sig_const of bool
+  | Sig_lit of int * bool   (* node, inverted? *)
+
+let neg = function
+  | Sig_const b -> Sig_const (not b)
+  | Sig_lit (n, ph) -> Sig_lit (n, not ph)
+
+let materialize b = function
+  | Sig_const _ -> invalid_arg "Subject: constant feeds a gate"
+  | Sig_lit (n, false) -> n
+  | Sig_lit (n, true) -> Builder.inv b n
+
+(* NAND of two signals with constant folding:
+   nand(0, _) = 1;  nand(1, x) = !x. *)
+let sig_nand b x y =
+  match x, y with
+  | Sig_const false, _ | _, Sig_const false -> Sig_const true
+  | Sig_const true, s | s, Sig_const true -> neg s
+  | (Sig_lit _ as sx), (Sig_lit _ as sy) ->
+    Sig_lit (Builder.nand b (materialize b sx) (materialize b sy), false)
+
+let rec build b env complement (e : Bexpr.t) : signal =
+  match e with
+  | Bexpr.Const c -> Sig_const (c <> complement)
+  | Bexpr.Var i ->
+    let s = env i in
+    if complement then neg s else s
+  | Bexpr.Not a -> build b env (not complement) a
+  | Bexpr.And (x, y) ->
+    let n = sig_nand b (build b env false x) (build b env false y) in
+    if complement then n else neg n
+  | Bexpr.Or (x, y) ->
+    let n = sig_nand b (build b env true x) (build b env true y) in
+    if complement then neg n else n
+  | Bexpr.Xor (x, y) -> begin
+    let sx = build b env false x in
+    let sy = build b env false y in
+    match sx, sy with
+    | Sig_const c, s | s, Sig_const c ->
+      let r = if c then neg s else s in
+      if complement then neg r else r
+    | Sig_lit _, Sig_lit _ ->
+      (* SOP form nand(nand(x,!y), nand(!x,y)) — the shape SIS-style
+         SOP decomposition produces. (The shared four-NAND form is
+         smaller but its internal fanout blocks larger tree-pattern
+         matches under the one-to-one match classes.) *)
+      let r = sig_nand b (sig_nand b sx (neg sy)) (sig_nand b (neg sx) sy) in
+      if complement then neg r else r
+  end
+
+type style =
+  | Balanced
+  | Left_skew
+  | Right_skew
+
+(* Re-associate n-ary AND/OR chains per the requested style. The
+   expressions reaching us are binary trees; flatten same-operator
+   chains and rebuild. *)
+let rec restyle style (e : Bexpr.t) : Bexpr.t =
+  let rebuild op operands =
+    let operands = List.map (restyle style) operands in
+    match style, operands with
+    | _, [] -> assert false
+    | _, [ x ] -> x
+    | Balanced, operands ->
+      let rec reduce = function
+        | [ x ] -> x
+        | xs ->
+          let rec pair = function
+            | [] -> []
+            | [ x ] -> [ x ]
+            | a :: b :: rest -> op a b :: pair rest
+          in
+          reduce (pair xs)
+      in
+      reduce operands
+    | Left_skew, first :: rest -> List.fold_left op first rest
+    | Right_skew, operands ->
+      let rec fold = function
+        | [ x ] -> x
+        | x :: rest -> op x (fold rest)
+        | [] -> assert false
+      in
+      fold operands
+  in
+  match e with
+  | Bexpr.Const _ | Bexpr.Var _ -> e
+  | Bexpr.Not a -> Bexpr.Not (restyle style a)
+  | Bexpr.Xor (a, b) -> Bexpr.Xor (restyle style a, restyle style b)
+  | Bexpr.And _ ->
+    let rec collect = function
+      | Bexpr.And (a, b) -> collect a @ collect b
+      | e -> [ e ]
+    in
+    rebuild (fun a b -> Bexpr.And (a, b)) (collect e)
+  | Bexpr.Or _ ->
+    let rec collect = function
+      | Bexpr.Or (a, b) -> collect a @ collect b
+      | e -> [ e ]
+    in
+    rebuild (fun a b -> Bexpr.Or (a, b)) (collect e)
+
+let of_network ?(style = Balanced) net =
+  let b = Builder.create () in
+  let signal_of = Array.make (Network.num_nodes net) (Sig_const false) in
+  (* Subject PI order contract: network PIs in declaration order,
+     then latch outputs in latch order (consumers such as simulation
+     and equivalence checking rely on this). *)
+  List.iter
+    (fun id ->
+      let n = Network.node net id in
+      signal_of.(id) <- Sig_lit (Builder.pi b n.Network.name, false))
+    (Network.pis net);
+  List.iter
+    (fun l ->
+      let n = Network.node net l.Network.latch_output in
+      signal_of.(l.Network.latch_output) <-
+        Sig_lit (Builder.pi b n.Network.name, false))
+    (Network.latches net);
+  List.iter
+    (fun id ->
+      let n = Network.node net id in
+      match n.Network.kind with
+      | Network.Pi | Network.Latch_out -> ()
+      | Network.Logic ->
+        let env i = signal_of.(n.Network.fanins.(i)) in
+        signal_of.(id) <- build b env false (restyle style n.Network.expr))
+    (Network.topological_order net);
+  let emit name id =
+    match signal_of.(id) with
+    | Sig_const c -> Builder.const_output b name c
+    | Sig_lit _ as s -> Builder.output b name (materialize b s)
+  in
+  List.iter (fun (po_name, id) -> emit po_name id) (Network.pos net);
+  List.iteri
+    (fun i l ->
+      emit (Printf.sprintf "$latch_in%d" i) l.Network.latch_input)
+    (Network.latches net);
+  Builder.finish ~n_latches:(List.length (Network.latches net)) b
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let num_nodes g = Array.length g.kinds
+
+let kind g i = g.kinds.(i)
+
+let fanins g i =
+  match g.kinds.(i) with
+  | Spi -> []
+  | Sinv x -> [ x ]
+  | Snand (x, y) -> [ x; y ]
+
+let fanout_counts g =
+  let counts = Array.make (num_nodes g) 0 in
+  Array.iter
+    (function
+      | Spi -> ()
+      | Sinv x -> counts.(x) <- counts.(x) + 1
+      | Snand (x, y) ->
+        counts.(x) <- counts.(x) + 1;
+        counts.(y) <- counts.(y) + 1)
+    g.kinds;
+  List.iter (fun o -> counts.(o.out_node) <- counts.(o.out_node) + 1) g.outputs;
+  counts
+
+let levels g =
+  let lv = Array.make (num_nodes g) 0 in
+  Array.iteri
+    (fun i k ->
+      lv.(i) <-
+        (match k with
+         | Spi -> 0
+         | Sinv x -> lv.(x) + 1
+         | Snand (x, y) -> 1 + max lv.(x) lv.(y)))
+    g.kinds;
+  lv
+
+let depth g =
+  let lv = levels g in
+  List.fold_left (fun acc o -> max acc lv.(o.out_node)) 0 g.outputs
+
+let pi_ids g =
+  let ids = ref [] in
+  Array.iteri (fun i k -> if k = Spi then ids := i :: !ids) g.kinds;
+  List.rev !ids
+
+let eval g assignment =
+  let pis = pi_ids g in
+  if Array.length assignment < List.length pis then invalid_arg "Subject.eval";
+  let value = Array.make (num_nodes g) false in
+  List.iteri (fun order id -> value.(id) <- assignment.(order)) pis;
+  Array.iteri
+    (fun i k ->
+      match k with
+      | Spi -> ()
+      | Sinv x -> value.(i) <- not value.(x)
+      | Snand (x, y) -> value.(i) <- not (value.(x) && value.(y)))
+    g.kinds;
+  List.map (fun o -> (o.out_name, value.(o.out_node))) g.outputs
+  @ g.const_outputs
+
+let stats g =
+  let nands = ref 0 and invs = ref 0 in
+  Array.iter
+    (function
+      | Spi -> ()
+      | Snand _ -> incr nands
+      | Sinv _ -> incr invs)
+    g.kinds;
+  Printf.sprintf "subject: pi=%d out=%d nand=%d inv=%d depth=%d" g.num_pis
+    (List.length g.outputs) !nands !invs (depth g)
+
+let to_dot g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph subject {\n  rankdir=LR;\n";
+  Array.iteri
+    (fun i k ->
+      let label, shape =
+        match k with
+        | Spi -> (g.names.(i), "triangle")
+        | Snand _ -> ("nand", "ellipse")
+        | Sinv _ -> ("inv", "diamond")
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  s%d [label=\"%s:%d\" shape=%s];\n" i label i shape);
+      List.iter
+        (fun f -> Buffer.add_string buf (Printf.sprintf "  s%d -> s%d;\n" f i))
+        (fanins g i))
+    g.kinds;
+  List.iter
+    (fun o ->
+      Buffer.add_string buf
+        (Printf.sprintf "  o_%s [label=%S shape=invtriangle];\n  s%d -> o_%s;\n"
+           o.out_name o.out_name o.out_node o.out_name))
+    g.outputs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

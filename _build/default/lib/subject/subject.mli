@@ -1,0 +1,94 @@
+(** Subject graphs: NAND2-INV decompositions of Boolean networks.
+
+    The subject graph is the canonical matching substrate of
+    Keutzer-style technology mapping. Nodes are primary inputs,
+    two-input NANDs or inverters; construction performs structural
+    hashing (identical NANDs are shared) and inverter-pair
+    cancellation, and folds constants away. Latch boundaries become
+    pseudo-PIs (latch outputs) and pseudo-POs (latch inputs) so the
+    combinational core can be mapped, as in the paper's Section 4. *)
+
+open Dagmap_logic
+
+type kind =
+  | Spi                 (** primary input or latch output *)
+  | Snand of int * int  (** two-input NAND of earlier nodes *)
+  | Sinv of int         (** inverter over an earlier node *)
+
+type output = {
+  out_name : string;
+  out_node : int;       (** subject node driving this output *)
+}
+
+type t = private {
+  kinds : kind array;          (** indices are topologically ordered *)
+  names : string array;        (** PI names; synthesized for internal *)
+  outputs : output list;       (** POs, then latch data inputs *)
+  const_outputs : (string * bool) list;
+      (** outputs whose function folded to a constant *)
+  num_pis : int;
+  n_latches : int;             (** trailing [n_latches] outputs and PIs
+                                   are latch boundaries, in order *)
+}
+
+type style =
+  | Balanced    (** n-ary AND/OR chains reduced as balanced trees *)
+  | Left_skew   (** ((a op b) op c) op d — chains *)
+  | Right_skew  (** a op (b op (c op d)) *)
+
+val of_network : ?style:style -> Network.t -> t
+(** Decompose every logic node into NAND2-INV form (De Morgan on the
+    node expressions, XOR in SOP form). [style] (default {!Balanced})
+    chooses how n-ary AND/OR chains in the node expressions are
+    re-associated — the paper (§4, discussing Lehman et al.) notes
+    that mapping optimality is relative to this arbitrary initial
+    choice; the harness measures the sensitivity. Subject PI order is
+    the network's PI declaration order followed by latch outputs in
+    latch order. *)
+
+val num_nodes : t -> int
+val kind : t -> int -> kind
+val fanout_counts : t -> int array
+(** Fanout per node; each output reference counts as one fanout. *)
+
+val fanins : t -> int -> int list
+
+val depth : t -> int
+(** Unit-delay depth (NAND and INV each count 1). *)
+
+val levels : t -> int array
+
+val pi_ids : t -> int list
+(** Subject ids of the PIs, in order. *)
+
+val eval : t -> bool array -> (string * bool) list
+(** Evaluate all outputs under a PI assignment (indexed in PI order);
+    includes constant outputs. *)
+
+val stats : t -> string
+val to_dot : t -> string
+
+(** Low-level builder, used by tests and by the Figure 1 / Figure 2
+    constructions in the benchmark harness. *)
+module Builder : sig
+  type graph = t
+  type t
+
+  val create : unit -> t
+  val pi : t -> string -> int
+  val nand : t -> int -> int -> int
+  (** Structurally hashed (commutative); [nand x x] folds to
+      [inv x]. *)
+
+  val inv : t -> int -> int
+  (** Cancels inverter pairs. *)
+
+  val raw_nand : t -> int -> int -> int
+  val raw_inv : t -> int -> int
+  (** Non-hashing, non-cancelling variants: create a fresh node
+      unconditionally (for building specific test topologies). *)
+
+  val output : t -> string -> int -> unit
+  val const_output : t -> string -> bool -> unit
+  val finish : ?n_latches:int -> t -> graph
+end

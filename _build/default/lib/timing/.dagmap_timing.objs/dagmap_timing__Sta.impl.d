@@ -1,0 +1,1 @@
+lib/timing/sta.ml: Array Dagmap_core Dagmap_genlib Float Format Gate List Netlist Option

@@ -1,0 +1,1 @@
+lib/timing/sta.mli: Dagmap_core Format Netlist

@@ -1,0 +1,1 @@
+test/test_bexpr.ml: Alcotest Bexpr Dagmap_logic List Printf QCheck QCheck_alcotest Truth

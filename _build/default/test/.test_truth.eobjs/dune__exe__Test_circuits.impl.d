@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Array Dagmap_circuits Dagmap_logic Dagmap_sim Dagmap_subject Generators Int64 Iscas_like List Network Printf Random Simulate

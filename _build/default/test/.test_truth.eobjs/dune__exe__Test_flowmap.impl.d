@@ -1,0 +1,1 @@
+test/test_flowmap.ml: Alcotest Array Dagmap_circuits Dagmap_flowmap Dagmap_logic Dagmap_sim Dagmap_subject Flowmap Generators Int Int64 Iscas_like List Maxflow Printf Set Subject

@@ -1,0 +1,1 @@
+test/test_genlib.ml: Alcotest Array Bexpr Dagmap_genlib Dagmap_logic Gate Genlib_parser Libraries List Printf String Truth

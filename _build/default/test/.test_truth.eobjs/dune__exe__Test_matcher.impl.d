@@ -1,0 +1,1 @@
+test/test_matcher.ml: Alcotest Array Bexpr Dagmap_circuits Dagmap_core Dagmap_genlib Dagmap_logic Dagmap_subject Gate Libraries List Mapper Matchdb Matcher Netlist Pattern Printf Subject Truth

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Bexpr Dagmap_circuits Dagmap_core Dagmap_genlib Dagmap_logic Dagmap_subject Float Format Gate Generators Libraries List Mapper Matchdb Netlist String Subject

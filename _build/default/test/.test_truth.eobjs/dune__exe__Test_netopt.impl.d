@@ -1,0 +1,1 @@
+test/test_netopt.ml: Alcotest Bexpr Dagmap_circuits Dagmap_logic Dagmap_opt Dagmap_sim Equiv Format Gen Generators Iscas_like List Netopt Network QCheck QCheck_alcotest Simulate

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array Bexpr Dagmap_logic Hashtbl List Network Printf String Truth

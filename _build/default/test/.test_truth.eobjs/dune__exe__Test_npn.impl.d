@@ -1,0 +1,1 @@
+test/test_npn.ml: Alcotest Array Dagmap_logic List Npn Random Truth

@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest Array Bexpr Dagmap_genlib Dagmap_logic Gate Libraries List Pattern Printf Truth

@@ -1,0 +1,1 @@
+test/test_sop.ml: Alcotest Bexpr Dagmap_logic Gen List QCheck QCheck_alcotest Random Sop Truth

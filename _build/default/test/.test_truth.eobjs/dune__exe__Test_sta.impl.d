@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Dagmap_circuits Dagmap_core Dagmap_genlib Dagmap_subject Dagmap_timing Float Format Generators Libraries List Mapper Matchdb Netlist Printf Sta String Subject

@@ -1,0 +1,1 @@
+test/test_subject.ml: Alcotest Array Bexpr Dagmap_circuits Dagmap_logic Dagmap_subject Gen Generators Iscas_like List Network Printf QCheck QCheck_alcotest Subject

@@ -1,0 +1,1 @@
+test/test_truth.ml: Alcotest Array Dagmap_logic Gen List Printf QCheck QCheck_alcotest Random Truth

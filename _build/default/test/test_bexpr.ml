@@ -1,0 +1,209 @@
+(* Boolean expression trees: smart constructors, n-ary builders,
+   genlib formula parsing, printing, and substitution. *)
+
+open Dagmap_logic
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let truth_equal = Alcotest.testable Truth.pp Truth.equal
+
+let names i = Printf.sprintf "v%d" i
+
+let to_tt n e = Bexpr.to_truth n e
+
+(* --- smart constructors -------------------------------------------- *)
+
+let test_constant_folding () =
+  let a = Bexpr.var 0 in
+  check tbool "and2 false" true
+    (Bexpr.equal (Bexpr.and2 a (Bexpr.const false)) (Bexpr.const false));
+  check tbool "and2 true identity" true
+    (Bexpr.equal (Bexpr.and2 (Bexpr.const true) a) a);
+  check tbool "or2 true" true
+    (Bexpr.equal (Bexpr.or2 a (Bexpr.const true)) (Bexpr.const true));
+  check tbool "or2 false identity" true
+    (Bexpr.equal (Bexpr.or2 (Bexpr.const false) a) a);
+  check tbool "xor2 false identity" true
+    (Bexpr.equal (Bexpr.xor2 a (Bexpr.const false)) a);
+  check tbool "xor2 true = not" true
+    (Bexpr.equal (Bexpr.xor2 (Bexpr.const true) a) (Bexpr.not_ a));
+  check tbool "double negation" true
+    (Bexpr.equal (Bexpr.not_ (Bexpr.not_ a)) a)
+
+let test_nary_builders () =
+  let vars = List.init 6 Bexpr.var in
+  let conj = Bexpr.and_list vars in
+  check truth_equal "and_list semantics"
+    (List.fold_left Truth.logand (Truth.const 6 true)
+       (List.init 6 (Truth.var 6)))
+    (to_tt 6 conj);
+  (* Balanced reduction keeps depth logarithmic. *)
+  check tbool "and_list depth" true (Bexpr.depth conj <= 3);
+  check tbool "empty and_list" true
+    (Bexpr.equal (Bexpr.and_list []) (Bexpr.const true));
+  check tbool "empty or_list" true
+    (Bexpr.equal (Bexpr.or_list []) (Bexpr.const false))
+
+let test_vars_and_num_vars () =
+  let e = Bexpr.(or2 (and2 (var 4) (var 1)) (not_ (var 4))) in
+  check (Alcotest.list tint) "vars" [ 1; 4 ] (Bexpr.vars e);
+  check tint "num_vars" 5 (Bexpr.num_vars e)
+
+let test_map_vars () =
+  let e = Bexpr.(and2 (var 0) (var 1)) in
+  let swapped = Bexpr.map_vars (fun i -> Bexpr.var (1 - i)) e in
+  check truth_equal "substitution swap" (to_tt 2 e) (to_tt 2 swapped);
+  let widened = Bexpr.map_vars (fun i -> Bexpr.var (i + 2)) e in
+  check tint "substitution widens" 4 (Bexpr.num_vars widened)
+
+let test_of_cubes () =
+  (* f = a!b + c *)
+  let e = Bexpr.of_cubes [ [ (0, true); (1, false) ]; [ (2, true) ] ] in
+  let expected =
+    Truth.logor
+      (Truth.logand (Truth.var 3 0) (Truth.lognot (Truth.var 3 1)))
+      (Truth.var 3 2)
+  in
+  check truth_equal "sum of products" expected (to_tt 3 e);
+  check tbool "empty cube list is false" true
+    (Bexpr.equal (Bexpr.of_cubes []) (Bexpr.const false));
+  check tbool "empty cube is true" true
+    (Bexpr.equal (Bexpr.of_cubes [ [] ]) (Bexpr.const true))
+
+(* --- parser --------------------------------------------------------- *)
+
+let parse_with_pins pins text =
+  let pin_names = ref pins in
+  let e = Bexpr.parse ~pin_names text in
+  (e, !pin_names)
+
+let test_parse_basic () =
+  let e, pins = parse_with_pins [] "a*b + !c" in
+  check (Alcotest.list Alcotest.string) "pins in order" [ "a"; "b"; "c" ] pins;
+  check truth_equal "a*b + !c"
+    (Truth.logor
+       (Truth.logand (Truth.var 3 0) (Truth.var 3 1))
+       (Truth.lognot (Truth.var 3 2)))
+    (to_tt 3 e)
+
+let test_parse_juxtaposition () =
+  (* genlib allows "a b" for AND. *)
+  let e, pins = parse_with_pins [] "a b c" in
+  check tint "three pins" 3 (List.length pins);
+  check truth_equal "juxtaposed and"
+    (to_tt 3 (Bexpr.and_list (List.init 3 Bexpr.var)))
+    (to_tt 3 e)
+
+let test_parse_postfix_quote () =
+  let e, _ = parse_with_pins [] "a'*b + (a+b)'" in
+  check truth_equal "postfix negation"
+    (Truth.logor
+       (Truth.logand (Truth.lognot (Truth.var 2 0)) (Truth.var 2 1))
+       (Truth.lognot (Truth.logor (Truth.var 2 0) (Truth.var 2 1))))
+    (to_tt 2 e)
+
+let test_parse_constants () =
+  let e, pins = parse_with_pins [] "CONST1" in
+  check tbool "const1" true (Bexpr.equal e (Bexpr.const true));
+  check tint "no pins" 0 (List.length pins);
+  let e0, _ = parse_with_pins [] "CONST0 + a" in
+  check tbool "const0 + a folds" true (Bexpr.equal e0 (Bexpr.var 0))
+
+let test_parse_precedence () =
+  let e, _ = parse_with_pins [] "a + b*c" in
+  check truth_equal "or binds weaker"
+    (Truth.logor (Truth.var 3 0) (Truth.logand (Truth.var 3 1) (Truth.var 3 2)))
+    (to_tt 3 e)
+
+let test_parse_preseeded_pins () =
+  (* Pre-seeding pins the variable order. *)
+  let e, pins = parse_with_pins [ "x"; "y" ] "y * x" in
+  check (Alcotest.list Alcotest.string) "seeded pins" [ "x"; "y" ] pins;
+  check truth_equal "y*x with seeded order"
+    (Truth.logand (Truth.var 2 1) (Truth.var 2 0))
+    (to_tt 2 e)
+
+let test_parse_errors () =
+  List.iter
+    (fun bad ->
+      match parse_with_pins [] bad with
+      | exception Bexpr.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected parse error on %S" bad)
+    [ "a +"; "(a"; "a)"; "*a"; "" ]
+
+(* --- printing ------------------------------------------------------- *)
+
+let test_pp_roundtrip_cases () =
+  List.iter
+    (fun e ->
+      let text = Bexpr.to_string ~names e in
+      let pin_names = ref (List.map names (List.init 6 (fun i -> i))) in
+      let e' = Bexpr.parse ~pin_names text in
+      Alcotest.check truth_equal
+        (Printf.sprintf "roundtrip %s" text)
+        (to_tt 6 e) (to_tt 6 e'))
+    Bexpr.
+      [ var 0;
+        not_ (var 1);
+        and2 (var 0) (or2 (var 1) (var 2));
+        or2 (and2 (var 0) (var 1)) (not_ (and2 (var 2) (var 3)));
+        xor2 (var 0) (var 5);
+        not_ (or2 (not_ (var 0)) (var 4)) ]
+
+(* --- QCheck: print/parse roundtrip ---------------------------------- *)
+
+let gen_expr =
+  let open QCheck.Gen in
+  let rec go depth =
+    if depth = 0 then map Bexpr.var (int_bound 4)
+    else
+      frequency
+        [ (2, map Bexpr.var (int_bound 4));
+          (1, map Bexpr.not_ (go (depth - 1)));
+          (2, map2 Bexpr.and2 (go (depth - 1)) (go (depth - 1)));
+          (2, map2 Bexpr.or2 (go (depth - 1)) (go (depth - 1)));
+          (1, map2 Bexpr.xor2 (go (depth - 1)) (go (depth - 1))) ]
+  in
+  go 5
+
+let qc_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"print/parse roundtrip" (QCheck.make gen_expr)
+    (fun e ->
+      let text = Bexpr.to_string ~names e in
+      let pin_names = ref (List.init 5 names) in
+      let e' = Bexpr.parse ~pin_names text in
+      Truth.equal (to_tt 5 e) (to_tt 5 e'))
+
+let qc_eval_matches_truth =
+  QCheck.Test.make ~count:300 ~name:"eval matches to_truth" (QCheck.make gen_expr)
+    (fun e ->
+      let tt = to_tt 5 e in
+      let ok = ref true in
+      for m = 0 to 31 do
+        let env i = m land (1 lsl i) <> 0 in
+        if Bexpr.eval e env <> Truth.get_bit tt m then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "bexpr"
+    [ ( "constructors",
+        [ Alcotest.test_case "constant folding" `Quick test_constant_folding;
+          Alcotest.test_case "n-ary builders" `Quick test_nary_builders;
+          Alcotest.test_case "vars" `Quick test_vars_and_num_vars;
+          Alcotest.test_case "map_vars" `Quick test_map_vars;
+          Alcotest.test_case "of_cubes" `Quick test_of_cubes ] );
+      ( "parser",
+        [ Alcotest.test_case "basic" `Quick test_parse_basic;
+          Alcotest.test_case "juxtaposition" `Quick test_parse_juxtaposition;
+          Alcotest.test_case "postfix quote" `Quick test_parse_postfix_quote;
+          Alcotest.test_case "constants" `Quick test_parse_constants;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "preseeded pins" `Quick test_parse_preseeded_pins;
+          Alcotest.test_case "errors" `Quick test_parse_errors ] );
+      ( "printing",
+        [ Alcotest.test_case "roundtrip cases" `Quick test_pp_roundtrip_cases ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest qc_roundtrip;
+          QCheck_alcotest.to_alcotest qc_eval_matches_truth ] ) ]

@@ -1,0 +1,351 @@
+(* Circuit generators: functional correctness against machine
+   arithmetic, structural sanity of the ISCAS-like stand-ins. *)
+
+open Dagmap_logic
+open Dagmap_sim
+open Dagmap_circuits
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+(* Evaluate an adder-style network on integer operands. *)
+let eval_net net inputs_by_name =
+  let n = Simulate.num_inputs_network net in
+  let words = Array.make n 0L in
+  List.iteri
+    (fun i id ->
+      let name = (Network.node net id).Network.name in
+      match List.assoc_opt name inputs_by_name with
+      | Some b -> words.(i) <- (if b then -1L else 0L)
+      | None -> ())
+    (Network.pis net);
+  List.map
+    (fun (name, w) -> (name, Int64.logand w 1L = 1L))
+    (Simulate.network net words)
+
+let bits_of_int width x =
+  List.init width (fun i -> x land (1 lsl i) <> 0)
+
+let int_of_outputs outputs prefix width =
+  let rec go i acc =
+    if i = width then acc
+    else
+      let b = List.assoc (Printf.sprintf "%s%d" prefix i) outputs in
+      go (i + 1) (acc lor (if b then 1 lsl i else 0))
+  in
+  go 0 0
+
+let adder_inputs n a b cin =
+  List.concat
+    [ List.mapi (fun i bit -> (Printf.sprintf "a%d" i, bit)) (bits_of_int n a);
+      List.mapi (fun i bit -> (Printf.sprintf "b%d" i, bit)) (bits_of_int n b);
+      [ ("cin", cin) ] ]
+
+let check_adder name make n trials =
+  let net = make n in
+  let st = Random.State.make [| 13; n |] in
+  for _ = 1 to trials do
+    let a = Random.State.int st (1 lsl n) in
+    let b = Random.State.int st (1 lsl n) in
+    let cin = Random.State.bool st in
+    let outs = eval_net net (adder_inputs n a b cin) in
+    let sum = int_of_outputs outs "s" n in
+    let cout = List.assoc "cout" outs in
+    let expected = a + b + if cin then 1 else 0 in
+    if sum <> expected land ((1 lsl n) - 1) then
+      Alcotest.failf "%s: %d+%d+%b gave %d" name a b cin sum;
+    if cout <> (expected lsr n = 1) then
+      Alcotest.failf "%s: %d+%d+%b carry wrong" name a b cin
+  done
+
+let test_ripple_adder () = check_adder "ripple" Generators.ripple_adder 8 50
+
+let test_kogge_stone () =
+  check_adder "kogge-stone" Generators.kogge_stone_adder 8 50;
+  check_adder "kogge-stone-nonpow2" Generators.kogge_stone_adder 11 30;
+  (* Logarithmic depth is the point of the prefix structure. *)
+  let net = Generators.kogge_stone_adder 16 in
+  check tbool "log depth" true (Network.depth net <= 8)
+
+let test_wallace_multiplier () =
+  List.iter
+    (fun n ->
+      let net = Generators.wallace_multiplier n in
+      Network.validate net;
+      let st = Random.State.make [| 71; n |] in
+      for _ = 1 to 30 do
+        let a = Random.State.int st (1 lsl n) in
+        let b = Random.State.int st (1 lsl n) in
+        let inputs =
+          List.mapi (fun i bit -> (Printf.sprintf "a%d" i, bit)) (bits_of_int n a)
+          @ List.mapi
+              (fun i bit -> (Printf.sprintf "b%d" i, bit))
+              (bits_of_int n b)
+        in
+        let outs = eval_net net inputs in
+        let p = int_of_outputs outs "p" (2 * n) in
+        if p <> a * b then
+          Alcotest.failf "wallace%d: %d*%d = %d (got %d)" n a b (a * b) p
+      done)
+    [ 2; 3; 4; 6; 8 ];
+  (* Shallower than the array multiplier. *)
+  let array16 = Network.depth (Generators.array_multiplier 16) in
+  let wallace16 = Network.depth (Generators.wallace_multiplier 16) in
+  check tbool
+    (Printf.sprintf "wallace (%d) shallower than array (%d)" wallace16 array16)
+    true (wallace16 < array16)
+
+let test_barrel_shifter () =
+  let n = 8 in
+  let net = Generators.barrel_shifter n in
+  Network.validate net;
+  for x_in = 0 to 255 do
+    if x_in mod 37 = 0 then
+      for s = 0 to n - 1 do
+        let inputs =
+          List.mapi (fun i bit -> (Printf.sprintf "x%d" i, bit)) (bits_of_int n x_in)
+          @ List.init 3 (fun i -> (Printf.sprintf "s%d" i, s land (1 lsl i) <> 0))
+        in
+        let outs = eval_net net inputs in
+        let y = int_of_outputs outs "y" n in
+        let expected = x_in lsl s land ((1 lsl n) - 1) in
+        if y <> expected then
+          Alcotest.failf "barrel: %d << %d = %d (got %d)" x_in s expected y
+      done
+  done;
+  (match Generators.barrel_shifter 6 with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "non-power-of-two accepted")
+
+let test_carry_lookahead () =
+  check_adder "cla" Generators.carry_lookahead_adder 10 50;
+  check_adder "cla-nonmultiple" Generators.carry_lookahead_adder 7 30
+
+let test_carry_select () =
+  check_adder "csel" Generators.carry_select_adder 10 50;
+  check_adder "csel-nonmultiple" Generators.carry_select_adder 6 30
+
+let test_multiplier () =
+  List.iter
+    (fun n ->
+      let net = Generators.array_multiplier n in
+      let st = Random.State.make [| 17; n |] in
+      for _ = 1 to 40 do
+        let a = Random.State.int st (1 lsl n) in
+        let b = Random.State.int st (1 lsl n) in
+        let inputs =
+          List.mapi (fun i bit -> (Printf.sprintf "a%d" i, bit)) (bits_of_int n a)
+          @ List.mapi
+              (fun i bit -> (Printf.sprintf "b%d" i, bit))
+              (bits_of_int n b)
+        in
+        let outs = eval_net net inputs in
+        let p = int_of_outputs outs "p" (2 * n) in
+        if p <> a * b then Alcotest.failf "mult%d: %d*%d = %d (got %d)" n a b (a * b) p
+      done)
+    [ 1; 2; 3; 4; 6; 8 ]
+
+let test_parity () =
+  List.iter
+    (fun n ->
+      let net = Generators.parity n in
+      let st = Random.State.make [| 3; n |] in
+      for _ = 1 to 30 do
+        let bits = List.init n (fun _ -> Random.State.bool st) in
+        let inputs = List.mapi (fun i b -> (Printf.sprintf "x%d" i, b)) bits in
+        let outs = eval_net net inputs in
+        let expected = List.fold_left (fun acc b -> acc <> b) false bits in
+        check tbool (Printf.sprintf "parity%d" n) expected
+          (List.assoc "par" outs)
+      done)
+    [ 2; 3; 7; 16; 33 ]
+
+let test_mux_tree () =
+  let k = 3 in
+  let net = Generators.mux_tree k in
+  for sel = 0 to (1 lsl k) - 1 do
+    for chosen = 0 to (1 lsl k) - 1 do
+      let inputs =
+        List.init (1 lsl k) (fun i -> (Printf.sprintf "d%d" i, i = chosen))
+        @ List.init k (fun i -> (Printf.sprintf "s%d" i, sel land (1 lsl i) <> 0))
+      in
+      let outs = eval_net net inputs in
+      check tbool
+        (Printf.sprintf "mux sel=%d chosen=%d" sel chosen)
+        (sel = chosen) (List.assoc "out" outs)
+    done
+  done
+
+let test_decoder () =
+  let k = 4 in
+  let net = Generators.decoder k in
+  for x = 0 to (1 lsl k) - 1 do
+    let inputs =
+      List.init k (fun i -> (Printf.sprintf "x%d" i, x land (1 lsl i) <> 0))
+    in
+    let outs = eval_net net inputs in
+    for y = 0 to (1 lsl k) - 1 do
+      check tbool
+        (Printf.sprintf "decoder x=%d y=%d" x y)
+        (x = y)
+        (List.assoc (Printf.sprintf "y%d" y) outs)
+    done
+  done
+
+let test_comparator () =
+  let n = 6 in
+  let net = Generators.comparator n in
+  let st = Random.State.make [| 29 |] in
+  for _ = 1 to 100 do
+    let a = Random.State.int st (1 lsl n) in
+    let b = Random.State.int st (1 lsl n) in
+    let inputs =
+      List.mapi (fun i bit -> (Printf.sprintf "a%d" i, bit)) (bits_of_int n a)
+      @ List.mapi (fun i bit -> (Printf.sprintf "b%d" i, bit)) (bits_of_int n b)
+    in
+    let outs = eval_net net inputs in
+    check tbool "eq" (a = b) (List.assoc "eq" outs);
+    check tbool "lt" (a < b) (List.assoc "lt" outs)
+  done
+
+let test_alu () =
+  let n = 6 in
+  let net = Generators.alu n in
+  let st = Random.State.make [| 31 |] in
+  for _ = 1 to 100 do
+    let a = Random.State.int st (1 lsl n) in
+    let b = Random.State.int st (1 lsl n) in
+    let op = Random.State.int st 4 in
+    let inputs =
+      List.mapi (fun i bit -> (Printf.sprintf "a%d" i, bit)) (bits_of_int n a)
+      @ List.mapi (fun i bit -> (Printf.sprintf "b%d" i, bit)) (bits_of_int n b)
+      @ [ ("op0", op land 1 <> 0); ("op1", op land 2 <> 0) ]
+    in
+    let outs = eval_net net inputs in
+    let r = int_of_outputs outs "r" n in
+    let expected =
+      match op with
+      | 0 -> (a + b) land ((1 lsl n) - 1)
+      | 1 -> a land b
+      | 2 -> a lor b
+      | _ -> a lxor b
+    in
+    if r <> expected then
+      Alcotest.failf "alu op=%d a=%d b=%d: got %d want %d" op a b r expected
+  done
+
+let test_random_dag_determinism () =
+  let a = Generators.random_dag ~seed:42 ~inputs:8 ~outputs:4 ~nodes:50 () in
+  let b = Generators.random_dag ~seed:42 ~inputs:8 ~outputs:4 ~nodes:50 () in
+  check tint "same node count" (Network.num_nodes a) (Network.num_nodes b);
+  let st = Random.State.make [| 1 |] in
+  for _ = 1 to 5 do
+    let words = Simulate.random_words st 8 in
+    let ra = Simulate.network a words and rb = Simulate.network b words in
+    List.iter
+      (fun (name, w) ->
+        check tbool "same behavior" true (Int64.equal w (List.assoc name rb)))
+      ra
+  done;
+  let c = Generators.random_dag ~seed:43 ~inputs:8 ~outputs:4 ~nodes:50 () in
+  Network.validate c
+
+let test_combine () =
+  let net =
+    Generators.combine ~name:"both"
+      [ Generators.parity 4; Generators.parity 4 ]
+  in
+  check tint "pis doubled" 8 (List.length (Network.pis net));
+  check tint "pos doubled" 2 (List.length (Network.pos net));
+  Network.validate net;
+  (* Parts stay independent. *)
+  let words = [| -1L; 0L; 0L; 0L; 0L; 0L; 0L; 0L |] in
+  let outs = Simulate.network net words in
+  check tbool "u0 sees the one" true
+    (Int64.equal (List.assoc "u0_par" outs) (-1L));
+  check tbool "u1 unaffected" true (Int64.equal (List.assoc "u1_par" outs) 0L)
+
+let test_lfsr_structure () =
+  let net = Generators.lfsr 8 in
+  check tint "eight latches" 8 (List.length (Network.latches net));
+  Network.validate net;
+  (* With enable=0 each latch holds: next state = current state. *)
+  let n = Simulate.num_inputs_network net in
+  let words = Array.make n 0L in
+  (* inputs: enable then latch outs q0..q7. *)
+  words.(1) <- 0xDEADL;
+  words.(3) <- 0xBEEFL;
+  let outs = Simulate.network net words in
+  check tbool "hold q0" true
+    (Int64.equal (List.assoc "$latch_in0" outs) 0xDEADL);
+  check tbool "hold q2" true
+    (Int64.equal (List.assoc "$latch_in2" outs) 0xBEEFL)
+
+let test_pipelined_parity_structure () =
+  let net = Generators.pipelined_parity 16 3 in
+  check tint "three latches" 3 (List.length (Network.latches net));
+  Network.validate net
+
+let test_iscas_like_sizes () =
+  List.iter
+    (fun (name, net) ->
+      Network.validate net;
+      let sg = Dagmap_subject.Subject.of_network net in
+      let nodes = Dagmap_subject.Subject.num_nodes sg in
+      check tbool
+        (Printf.sprintf "%s has a substantial subject graph (%d)" name nodes)
+        true (nodes > 300);
+      check tbool (name ^ " has outputs") true (Network.pos net <> []))
+    (Iscas_like.all ());
+  (* Relative sizes roughly follow the benchmark numbering. *)
+  let size name =
+    let net = List.assoc name (Iscas_like.all ()) in
+    Dagmap_subject.Subject.num_nodes (Dagmap_subject.Subject.of_network net)
+  in
+  check tbool "c7552 largest" true
+    (size "C7552" > size "C5315" && size "C5315" > size "C3540")
+
+let test_c6288_is_multiplier () =
+  (* The c6288 stand-in really multiplies. *)
+  let net = Iscas_like.c6288_like () in
+  let st = Random.State.make [| 47 |] in
+  for _ = 1 to 10 do
+    let a = Random.State.int st 65536 in
+    let b = Random.State.int st 65536 in
+    let inputs =
+      List.mapi (fun i bit -> (Printf.sprintf "a%d" i, bit)) (bits_of_int 16 a)
+      @ List.mapi (fun i bit -> (Printf.sprintf "b%d" i, bit)) (bits_of_int 16 b)
+    in
+    let outs = eval_net net inputs in
+    let p = int_of_outputs outs "p" 32 in
+    if p <> a * b then Alcotest.failf "c6288: %d*%d != %d" a b p
+  done
+
+let () =
+  Alcotest.run "circuits"
+    [ ( "arithmetic",
+        [ Alcotest.test_case "ripple adder" `Quick test_ripple_adder;
+          Alcotest.test_case "carry lookahead" `Quick test_carry_lookahead;
+          Alcotest.test_case "carry select" `Quick test_carry_select;
+          Alcotest.test_case "kogge-stone" `Quick test_kogge_stone;
+          Alcotest.test_case "multiplier" `Quick test_multiplier;
+          Alcotest.test_case "wallace multiplier" `Quick test_wallace_multiplier;
+          Alcotest.test_case "barrel shifter" `Quick test_barrel_shifter;
+          Alcotest.test_case "alu" `Quick test_alu ] );
+      ( "combinational",
+        [ Alcotest.test_case "parity" `Quick test_parity;
+          Alcotest.test_case "mux tree" `Quick test_mux_tree;
+          Alcotest.test_case "decoder" `Quick test_decoder;
+          Alcotest.test_case "comparator" `Quick test_comparator ] );
+      ( "random/composite",
+        [ Alcotest.test_case "random dag determinism" `Quick
+            test_random_dag_determinism;
+          Alcotest.test_case "combine" `Quick test_combine ] );
+      ( "sequential",
+        [ Alcotest.test_case "lfsr" `Quick test_lfsr_structure;
+          Alcotest.test_case "pipelined parity" `Quick
+            test_pipelined_parity_structure ] );
+      ( "iscas-like",
+        [ Alcotest.test_case "sizes" `Quick test_iscas_like_sizes;
+          Alcotest.test_case "c6288 multiplies" `Quick test_c6288_is_multiplier ] ) ]

@@ -1,0 +1,387 @@
+(* The mappers: label/netlist agreement, functional equivalence,
+   tree-vs-DAG dominance, mode invariants, unmappability. *)
+
+open Dagmap_logic
+open Dagmap_genlib
+open Dagmap_subject
+open Dagmap_core
+open Dagmap_sim
+open Dagmap_circuits
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tfloat = Alcotest.float 1e-6
+
+let libs () =
+  List.filter_map Libraries.by_name [ "minimal"; "44-1"; "lib2" ]
+
+let circuits () =
+  [ ("adder8", Generators.ripple_adder 8);
+    ("cla16", Generators.carry_lookahead_adder 16);
+    ("mult4", Generators.array_multiplier 4);
+    ("alu4", Generators.alu 4);
+    ("parity16", Generators.parity 16);
+    ("cmp8", Generators.comparator 8);
+    ("rand1", Generators.random_dag ~seed:1 ~inputs:10 ~outputs:5 ~nodes:80 ());
+    ("rand2", Generators.random_dag ~seed:2 ~inputs:12 ~outputs:6 ~nodes:120 ()) ]
+
+let modes = [ Mapper.Tree; Mapper.Dag; Mapper.Dag_extended ]
+
+let test_netlist_validates () =
+  List.iter
+    (fun (cname, net) ->
+      let g = Subject.of_network net in
+      List.iter
+        (fun lib ->
+          let db = Matchdb.prepare lib in
+          List.iter
+            (fun mode ->
+              let r = Mapper.map mode db g in
+              Netlist.validate r.Mapper.netlist;
+              check tbool
+                (Printf.sprintf "%s/%s/%s gates nonzero" cname
+                   lib.Libraries.lib_name (Mapper.mode_name mode))
+                true
+                (Netlist.num_gates r.Mapper.netlist > 0))
+            modes)
+        (libs ()))
+    (circuits ())
+
+let test_labels_equal_netlist_delay () =
+  (* The labeling pass predicts exactly the mapped netlist's delay. *)
+  List.iter
+    (fun (cname, net) ->
+      let g = Subject.of_network net in
+      List.iter
+        (fun lib ->
+          let db = Matchdb.prepare lib in
+          List.iter
+            (fun mode ->
+              let r = Mapper.map mode db g in
+              check tfloat
+                (Printf.sprintf "%s/%s/%s label = delay" cname
+                   lib.Libraries.lib_name (Mapper.mode_name mode))
+                (Mapper.optimal_delay r)
+                (Netlist.delay r.Mapper.netlist))
+            modes)
+        (libs ()))
+    (circuits ())
+
+let test_equivalence () =
+  List.iter
+    (fun (cname, net) ->
+      let g = Subject.of_network net in
+      let n_inputs = List.length (Subject.pi_ids g) in
+      List.iter
+        (fun lib ->
+          let db = Matchdb.prepare lib in
+          List.iter
+            (fun mode ->
+              let r = Mapper.map mode db g in
+              let verdict =
+                Equiv.compare_sims ~rounds:8 ~n_inputs
+                  (fun words -> Simulate.subject g words)
+                  (fun words -> Simulate.netlist r.Mapper.netlist words)
+              in
+              if not (Equiv.is_equivalent verdict) then
+                Alcotest.failf "%s/%s/%s: %s" cname lib.Libraries.lib_name
+                  (Mapper.mode_name mode)
+                  (Format.asprintf "%a" Equiv.pp_verdict verdict))
+            modes)
+        (libs ()))
+    (circuits ())
+
+let test_dag_dominates_tree () =
+  (* Exact matches are a subset of standard matches, so the DAG
+     labels (and hence delay) can never be worse. Likewise extended
+     vs. standard. *)
+  List.iter
+    (fun (cname, net) ->
+      let g = Subject.of_network net in
+      List.iter
+        (fun lib ->
+          let db = Matchdb.prepare lib in
+          let d mode = Netlist.delay (Mapper.map mode db g).Mapper.netlist in
+          let dt = d Mapper.Tree and dd = d Mapper.Dag in
+          let de = d Mapper.Dag_extended in
+          check tbool
+            (Printf.sprintf "%s/%s dag <= tree (%.3f vs %.3f)" cname
+               lib.Libraries.lib_name dd dt)
+            true
+            (dd <= dt +. 1e-9);
+          check tbool
+            (Printf.sprintf "%s/%s extended <= dag" cname lib.Libraries.lib_name)
+            true
+            (de <= dd +. 1e-9))
+        (libs ()))
+    (circuits ())
+
+let test_tree_no_duplication () =
+  List.iter
+    (fun (cname, net) ->
+      let g = Subject.of_network net in
+      List.iter
+        (fun lib ->
+          let db = Matchdb.prepare lib in
+          let r = Mapper.map Mapper.Tree db g in
+          check tint
+            (Printf.sprintf "%s/%s tree duplication" cname lib.Libraries.lib_name)
+            0
+            (Netlist.duplication r.Mapper.netlist))
+        (libs ()))
+    (circuits ())
+
+let test_labels_monotone_bound () =
+  (* Each node's label is bounded by fastest-gate-per-level: with the
+     minimal library every node needs at least one nand or inv. *)
+  let net = Generators.ripple_adder 6 in
+  let g = Subject.of_network net in
+  let db = Matchdb.prepare (Libraries.minimal ()) in
+  let r = Mapper.map Mapper.Dag db g in
+  let levels = Subject.levels g in
+  Array.iteri
+    (fun node label ->
+      match Subject.kind g node with
+      | Subject.Spi -> check tfloat "pi label" 0.0 label
+      | Subject.Snand _ | Subject.Sinv _ ->
+        (* inv costs 0.5, nand 1.0; a node at level l needs delay >=
+           0.5 * ceil(l/?) — use the loose bound 0.5. *)
+        check tbool "label positive" true (label >= 0.5 -. 1e-9);
+        check tbool "label bounded by unit path" true
+          (label <= (float_of_int levels.(node) *. 1.0) +. 1e-9))
+    r.Mapper.labels
+
+let test_minimal_library_is_identity_cover () =
+  (* With only inv+nand2, mapping reproduces the subject graph
+     one-to-one (modulo unreached nodes). *)
+  let net = Generators.parity 8 in
+  let g = Subject.of_network net in
+  let db = Matchdb.prepare (Libraries.minimal ()) in
+  let r = Mapper.map Mapper.Dag db g in
+  check tint "one gate per reachable subject node"
+    (Netlist.num_gates r.Mapper.netlist)
+    (let reachable = Hashtbl.create 64 in
+     let rec visit u =
+       if not (Hashtbl.mem reachable u) then begin
+         match Subject.kind g u with
+         | Subject.Spi -> ()
+         | Subject.Sinv _ | Subject.Snand _ ->
+           Hashtbl.add reachable u ();
+           List.iter visit (Subject.fanins g u)
+       end
+     in
+     List.iter (fun o -> visit o.Subject.out_node) g.Subject.outputs;
+     Hashtbl.length reachable)
+
+let test_unmappable_raises () =
+  (* A library with only inverters cannot map a NAND. *)
+  let inv =
+    Gate.make ~name:"inv" ~area:1.0
+      ~pins:[| Gate.simple_pin "a" |]
+      Bexpr.(not_ (var 0))
+  in
+  let lib = Libraries.make "invonly" [ inv ] in
+  let db = Matchdb.prepare lib in
+  let bld = Subject.Builder.create () in
+  let x = Subject.Builder.pi bld "x" in
+  let y = Subject.Builder.pi bld "y" in
+  let n = Subject.Builder.nand bld x y in
+  Subject.Builder.output bld "o" n;
+  let g = Subject.Builder.finish bld in
+  match Mapper.map Mapper.Dag db g with
+  | exception Mapper.Unmappable _ -> ()
+  | _ -> Alcotest.fail "expected Unmappable"
+
+let test_constant_and_pi_outputs () =
+  let net = Network.create () in
+  let a = Network.add_pi net "a" in
+  let zero = Network.add_logic net (Bexpr.const false) [||] in
+  Network.add_po net "wire" a;
+  Network.add_po net "zero" zero;
+  let g = Subject.of_network net in
+  let db = Matchdb.prepare (Libraries.minimal ()) in
+  let r = Mapper.map Mapper.Dag db g in
+  check tint "no gates needed" 0 (Netlist.num_gates r.Mapper.netlist);
+  let outs = r.Mapper.netlist.Netlist.outputs in
+  (match List.assoc "wire" outs with
+   | Netlist.D_pi _ -> ()
+   | Netlist.D_gate _ | Netlist.D_const _ -> Alcotest.fail "wire should be a PI");
+  (match List.assoc "zero" outs with
+   | Netlist.D_const false -> ()
+   | Netlist.D_pi _ | Netlist.D_gate _ | Netlist.D_const true ->
+     Alcotest.fail "zero should be constant false")
+
+let test_rich_library_beats_simple () =
+  (* More patterns can only help the optimal delay. *)
+  let net = Generators.carry_lookahead_adder 8 in
+  let g = Subject.of_network net in
+  let d lib = Netlist.delay (Mapper.map Mapper.Dag (Matchdb.prepare lib) g).Mapper.netlist in
+  let d_min = d (Libraries.minimal ()) in
+  let d_lib2 = d (Libraries.lib2_like ()) in
+  check tbool "lib2 <= minimal" true (d_lib2 <= d_min +. 1e-9)
+
+let test_stats_populated () =
+  let net = Generators.ripple_adder 4 in
+  let g = Subject.of_network net in
+  let db = Matchdb.prepare (Libraries.lib2_like ()) in
+  let r = Mapper.map Mapper.Dag db g in
+  check tbool "matches tried" true (r.Mapper.run.Mapper.matches_tried > 0);
+  check tbool "times nonnegative" true
+    (r.Mapper.run.Mapper.label_seconds >= 0.0
+    && r.Mapper.run.Mapper.cover_seconds >= 0.0)
+
+(* Independent optimality check (the paper's core claim): on tiny
+   graphs, exhaustively enumerate every possible cover — an
+   assignment of one match to each subject node — evaluate each
+   candidate cover's true delay, and confirm the labeling DP achieves
+   the minimum. *)
+let brute_force_optimal_delay db g =
+  let fanouts = Subject.fanout_counts g in
+  let levels = Subject.levels g in
+  let n = Subject.num_nodes g in
+  let all_matches =
+    Array.init n (fun node ->
+        match Subject.kind g node with
+        | Subject.Spi -> [||]
+        | Subject.Snand _ | Subject.Sinv _ ->
+          Array.of_list
+            (Matchdb.node_matches db Matcher.Standard g ~fanouts ~levels node))
+  in
+  (* The delay of a cover: arrival(node) under the chosen match. *)
+  let best = ref infinity in
+  let assignment = Array.make n 0 in
+  let arrival = Array.make n 0.0 in
+  let rec assign node =
+    if node = n then begin
+      (* Evaluate this cover. *)
+      for u = 0 to n - 1 do
+        match Subject.kind g u with
+        | Subject.Spi -> arrival.(u) <- 0.0
+        | Subject.Snand _ | Subject.Sinv _ ->
+          let m = all_matches.(u).(assignment.(u)) in
+          let gate = Matcher.gate m in
+          let worst = ref 0.0 in
+          Array.iteri
+            (fun pin pin_node ->
+              if pin_node >= 0 then
+                worst :=
+                  Float.max !worst
+                    (arrival.(pin_node) +. Gate.intrinsic_delay gate pin))
+            m.Matcher.pins;
+          arrival.(u) <- !worst
+      done;
+      let d =
+        List.fold_left
+          (fun acc o -> Float.max acc arrival.(o.Subject.out_node))
+          0.0 g.Subject.outputs
+      in
+      if d < !best then best := d
+    end
+    else begin
+      match Subject.kind g node with
+      | Subject.Spi -> assign (node + 1)
+      | Subject.Snand _ | Subject.Sinv _ ->
+        for i = 0 to Array.length all_matches.(node) - 1 do
+          assignment.(node) <- i;
+          assign (node + 1)
+        done
+    end
+  in
+  assign 0;
+  !best
+
+let test_optimality_vs_exhaustive () =
+  (* Library with real choices: inv, nand2, plus two compound gates
+     with distinctive delays. *)
+  let mk name delay n expr =
+    Gate.make ~name ~area:1.0
+      ~pins:(Array.init n (fun i -> Gate.simple_pin ~delay (Printf.sprintf "p%d" i)))
+      expr
+  in
+  let lib =
+    Libraries.make "tiny"
+      [ mk "inv" 0.6 1 Bexpr.(not_ (var 0));
+        mk "nand2" 1.0 2 Bexpr.(not_ (and2 (var 0) (var 1)));
+        mk "and2" 1.3 2 Bexpr.(and2 (var 0) (var 1));
+        mk "aoi21" 1.4 3 Bexpr.(not_ (or2 (and2 (var 0) (var 1)) (var 2)));
+        mk "nand3" 1.2 3 Bexpr.(not_ (and_list [ var 0; var 1; var 2 ])) ]
+  in
+  let db = Matchdb.prepare lib in
+  let checked = ref 0 in
+  List.iter
+    (fun seed ->
+      let net =
+        Generators.random_dag ~seed ~inputs:3 ~outputs:2 ~nodes:3 ()
+      in
+      let g = Subject.of_network net in
+      (* Keep the enumeration tractable: skip seeds whose cover space
+         is too large. *)
+      let fanouts = Subject.fanout_counts g in
+      let levels = Subject.levels g in
+      let product = ref 1.0 in
+      for node = 0 to Subject.num_nodes g - 1 do
+        match Subject.kind g node with
+        | Subject.Spi -> ()
+        | Subject.Snand _ | Subject.Sinv _ ->
+          product :=
+            !product
+            *. float_of_int
+                 (max 1
+                    (List.length
+                       (Matchdb.node_matches db Matcher.Standard g ~fanouts
+                          ~levels node)))
+      done;
+      if !product <= 300_000.0 && Network.pos net <> [] then begin
+        incr checked;
+        let r = Mapper.map Mapper.Dag db g in
+        let reference = brute_force_optimal_delay db g in
+        check tfloat
+          (Printf.sprintf "seed %d: DP delay equals exhaustive optimum" seed)
+          reference
+          (Netlist.delay r.Mapper.netlist)
+      end)
+    (List.init 20 (fun i -> i));
+  check tbool "some seeds exhaustively checked" true (!checked >= 3)
+
+(* QCheck: random circuits, random library subsets stay equivalent. *)
+let qc_mapping_equivalence =
+  QCheck.Test.make ~count:20 ~name:"random circuit mapping equivalence"
+    QCheck.(make Gen.(pair (int_bound 10_000) (int_bound 2)))
+    (fun (seed, mode_idx) ->
+      let net = Generators.random_dag ~seed ~inputs:7 ~outputs:4 ~nodes:50 () in
+      let g = Subject.of_network net in
+      let db = Matchdb.prepare (Libraries.lib2_like ()) in
+      let mode = List.nth modes mode_idx in
+      let r = Mapper.map mode db g in
+      let verdict =
+        Equiv.compare_sims ~rounds:4
+          ~n_inputs:(List.length (Subject.pi_ids g))
+          (fun words -> Simulate.subject g words)
+          (fun words -> Simulate.netlist r.Mapper.netlist words)
+      in
+      Equiv.is_equivalent verdict)
+
+let () =
+  Alcotest.run "mapper"
+    [ ( "structural",
+        [ Alcotest.test_case "netlists validate" `Quick test_netlist_validates;
+          Alcotest.test_case "labels = delay" `Quick test_labels_equal_netlist_delay;
+          Alcotest.test_case "tree no duplication" `Quick test_tree_no_duplication;
+          Alcotest.test_case "minimal identity cover" `Quick
+            test_minimal_library_is_identity_cover ] );
+      ( "optimality",
+        [ Alcotest.test_case "dag dominates tree" `Quick test_dag_dominates_tree;
+          Alcotest.test_case "label bounds" `Quick test_labels_monotone_bound;
+          Alcotest.test_case "rich library helps" `Quick
+            test_rich_library_beats_simple;
+          Alcotest.test_case "exhaustive covers" `Slow
+            test_optimality_vs_exhaustive ] );
+      ( "edge cases",
+        [ Alcotest.test_case "unmappable" `Quick test_unmappable_raises;
+          Alcotest.test_case "const and pi outputs" `Quick
+            test_constant_and_pi_outputs;
+          Alcotest.test_case "stats" `Quick test_stats_populated ] );
+      ( "equivalence",
+        [ Alcotest.test_case "fixed circuits" `Slow test_equivalence;
+          QCheck_alcotest.to_alcotest qc_mapping_equivalence ] ) ]

@@ -1,0 +1,150 @@
+(* Mapped netlist: metrics, evaluation, validation. *)
+
+open Dagmap_logic
+open Dagmap_genlib
+open Dagmap_subject
+open Dagmap_core
+open Dagmap_circuits
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tfloat = Alcotest.float 1e-6
+
+(* A tiny hand-made netlist over a 2-PI subject graph:
+   w0 = nand(a, b); w1 = inv(w0); outputs f=w1, g=w0. *)
+let hand_netlist () =
+  let bld = Subject.Builder.create () in
+  let a = Subject.Builder.pi bld "a" in
+  let b = Subject.Builder.pi bld "b" in
+  let n = Subject.Builder.nand bld a b in
+  let i = Subject.Builder.inv bld n in
+  Subject.Builder.output bld "f" i;
+  Subject.Builder.output bld "g" n;
+  let g = Subject.Builder.finish bld in
+  let nand2 =
+    Gate.make ~name:"nand2" ~area:2.0
+      ~pins:
+        [| Gate.simple_pin ~delay:1.0 "a"; Gate.simple_pin ~delay:1.5 "b" |]
+      Bexpr.(not_ (and2 (var 0) (var 1)))
+  in
+  let inv =
+    Gate.make ~name:"inv" ~area:1.0
+      ~pins:[| Gate.simple_pin ~delay:0.5 "a" |]
+      Bexpr.(not_ (var 0))
+  in
+  let instances =
+    [| { Netlist.inst_id = 0; gate = inv; inputs = [| Netlist.D_gate 1 |];
+         subject_root = i; covers = [| i |] };
+       { Netlist.inst_id = 1; gate = nand2;
+         inputs = [| Netlist.D_pi a; Netlist.D_pi b |]; subject_root = n;
+         covers = [| n |] } |]
+  in
+  { Netlist.source = g;
+    instances;
+    outputs = [ ("f", Netlist.D_gate 0); ("g", Netlist.D_gate 1) ] }
+
+let test_metrics () =
+  let nl = hand_netlist () in
+  Netlist.validate nl;
+  check tfloat "area" 3.0 (Netlist.area nl);
+  check tint "gates" 2 (Netlist.num_gates nl);
+  (* nand2 arrival = max(1.0, 1.5) = 1.5 (pin b slower); inv adds 0.5. *)
+  check tfloat "delay" 2.0 (Netlist.delay nl);
+  let arrivals = Netlist.output_arrivals nl in
+  check tfloat "f arrival" 2.0 (List.assoc "f" arrivals);
+  check tfloat "g arrival" 1.5 (List.assoc "g" arrivals);
+  check tint "duplication" 0 (Netlist.duplication nl);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string tint))
+    "histogram"
+    [ ("inv", 1); ("nand2", 1) ]
+    (List.sort compare (Netlist.gate_histogram nl))
+
+let test_eval () =
+  let nl = hand_netlist () in
+  List.iter
+    (fun (a, b) ->
+      let out = Netlist.eval nl [| a; b |] in
+      check tbool "g = nand" (not (a && b)) (List.assoc "g" out);
+      check tbool "f = and" (a && b) (List.assoc "f" out))
+    [ (false, false); (false, true); (true, false); (true, true) ]
+
+let test_max_fanout () =
+  let nl = hand_netlist () in
+  (* w0 feeds the inverter and output g: fanout 2. *)
+  check tint "max fanout" 2 (Netlist.max_fanout nl)
+
+let test_validate_catches_bad_driver () =
+  let nl = hand_netlist () in
+  let broken =
+    { nl with
+      Netlist.outputs = [ ("f", Netlist.D_gate 7) ] }
+  in
+  match Netlist.validate broken with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "expected validation failure"
+
+let test_validate_catches_pin_mismatch () =
+  let nl = hand_netlist () in
+  let inst = nl.Netlist.instances.(0) in
+  let broken_inst = { inst with Netlist.inputs = [||] } in
+  let broken =
+    { nl with
+      Netlist.instances = [| broken_inst; nl.Netlist.instances.(1) |] }
+  in
+  match Netlist.validate broken with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "expected pin-count failure"
+
+let test_validate_catches_cycle () =
+  let nl = hand_netlist () in
+  let inv0 = nl.Netlist.instances.(0) in
+  let nand1 = nl.Netlist.instances.(1) in
+  let broken =
+    { nl with
+      Netlist.instances =
+        [| { inv0 with Netlist.inputs = [| Netlist.D_gate 1 |] };
+           { nand1 with Netlist.inputs = [| Netlist.D_gate 0; Netlist.D_gate 0 |] } |] }
+  in
+  match Netlist.validate broken with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "expected cycle detection"
+
+let test_arrival_consistency_on_real_mapping () =
+  (* arrival_times agrees with delay/output_arrivals on a real map. *)
+  let net = Generators.alu 6 in
+  let g = Subject.of_network net in
+  let db = Matchdb.prepare (Libraries.lib2_like ()) in
+  let r = Mapper.map Mapper.Dag db g in
+  let nl = r.Mapper.netlist in
+  let arrival = Netlist.arrival_times nl in
+  let recomputed =
+    List.fold_left
+      (fun acc (_, d) ->
+        match d with
+        | Netlist.D_gate j -> Float.max acc arrival.(j)
+        | Netlist.D_pi _ | Netlist.D_const _ -> acc)
+      0.0 nl.Netlist.outputs
+  in
+  check tfloat "delay from arrival_times" (Netlist.delay nl) recomputed
+
+let test_report_renders () =
+  let nl = hand_netlist () in
+  let text = Format.asprintf "%a" Netlist.pp_report nl in
+  check tbool "report nonempty" true (String.length text > 10)
+
+let () =
+  Alcotest.run "netlist"
+    [ ( "metrics",
+        [ Alcotest.test_case "area/delay/histogram" `Quick test_metrics;
+          Alcotest.test_case "eval" `Quick test_eval;
+          Alcotest.test_case "max fanout" `Quick test_max_fanout;
+          Alcotest.test_case "arrival consistency" `Quick
+            test_arrival_consistency_on_real_mapping;
+          Alcotest.test_case "report" `Quick test_report_renders ] );
+      ( "validation",
+        [ Alcotest.test_case "bad driver" `Quick test_validate_catches_bad_driver;
+          Alcotest.test_case "pin mismatch" `Quick
+            test_validate_catches_pin_mismatch;
+          Alcotest.test_case "cycle" `Quick test_validate_catches_cycle ] ) ]

@@ -1,0 +1,132 @@
+(* Network cleanup passes: equivalence and effectiveness. *)
+
+open Dagmap_logic
+open Dagmap_sim
+open Dagmap_circuits
+open Dagmap_opt
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let v = Bexpr.var
+
+let assert_equivalent name net opt =
+  let n = Simulate.num_inputs_network net in
+  let verdict =
+    Equiv.compare_sims ~rounds:6 ~n_inputs:n
+      (fun words -> Simulate.network net words)
+      (fun words -> Simulate.network opt words)
+  in
+  if not (Equiv.is_equivalent verdict) then
+    Alcotest.failf "%s: %s" name (Format.asprintf "%a" Equiv.pp_verdict verdict)
+
+let test_constant_folding () =
+  let net = Network.create () in
+  let a = Network.add_pi net "a" in
+  let zero = Network.add_logic net (Bexpr.const false) [||] in
+  (* f = a & 0 = 0; g = a | 0 = a *)
+  let f = Network.add_logic net Bexpr.(and2 (v 0) (v 1)) [| a; zero |] in
+  let g = Network.add_logic net Bexpr.(or2 (v 0) (v 1)) [| a; zero |] in
+  Network.add_po net "f" f;
+  Network.add_po net "g" g;
+  let opt, stats = Netopt.optimize net in
+  Network.validate opt;
+  assert_equivalent "const folding" net opt;
+  check tbool "constants folded" true (stats.Netopt.constants_folded >= 1);
+  (* g collapses to the PI: no logic needed beyond the constant PO. *)
+  check tbool "fewer nodes" true (stats.Netopt.nodes_after < stats.Netopt.nodes_before)
+
+let test_strash_merging () =
+  let net = Network.create () in
+  let a = Network.add_pi net "a" and b = Network.add_pi net "b" in
+  (* Same function twice, with permuted expression shapes. *)
+  let f1 = Network.add_logic net Bexpr.(and2 (v 0) (v 1)) [| a; b |] in
+  let f2 = Network.add_logic net Bexpr.(and2 (v 1) (v 0)) [| b; a |] in
+  let g = Network.add_logic net Bexpr.(xor2 (v 0) (v 1)) [| f1; f2 |] in
+  Network.add_po net "g" g;
+  Network.add_po net "f" f1;
+  let opt, stats = Netopt.optimize net in
+  assert_equivalent "strash" net opt;
+  check tbool "duplicates merged" true (stats.Netopt.nodes_merged >= 1);
+  (* g = f1 xor f1 = 0 after the merge. *)
+  check tbool "xor of equals folds" true (stats.Netopt.constants_folded >= 1)
+
+let test_buffer_forwarding () =
+  let net = Network.create () in
+  let a = Network.add_pi net "a" in
+  let buf = Network.add_logic net (v 0) [| a |] in
+  let buf2 = Network.add_logic net (v 0) [| buf |] in
+  let inv = Network.add_logic net Bexpr.(not_ (v 0)) [| buf2 |] in
+  let f = Network.add_logic net Bexpr.(not_ (v 0)) [| inv |] in
+  Network.add_po net "f" f;
+  let opt, stats = Netopt.optimize net in
+  assert_equivalent "forwarding" net opt;
+  check tbool "buffers forwarded" true (stats.Netopt.buffers_forwarded >= 2);
+  (* f = a: the whole chain disappears. *)
+  check tint "no logic left" 0 stats.Netopt.nodes_after
+
+let test_sweep () =
+  let net = Network.create () in
+  let a = Network.add_pi net "a" and b = Network.add_pi net "b" in
+  let used = Network.add_logic net Bexpr.(and2 (v 0) (v 1)) [| a; b |] in
+  let _dead1 = Network.add_logic net Bexpr.(or2 (v 0) (v 1)) [| a; b |] in
+  let _dead2 = Network.add_logic net Bexpr.(xor2 (v 0) (v 1)) [| a; b |] in
+  Network.add_po net "f" used;
+  let opt, stats = Netopt.sweep_only net in
+  assert_equivalent "sweep" net opt;
+  check tint "two nodes swept" 2 stats.Netopt.swept;
+  check tint "one node left" 1 stats.Netopt.nodes_after
+
+let test_duplicate_fanin_dedup () =
+  let net = Network.create () in
+  let a = Network.add_pi net "a" in
+  (* xor(a, a) = 0 once fanins are deduplicated. *)
+  let f = Network.add_logic net Bexpr.(xor2 (v 0) (v 1)) [| a; a |] in
+  Network.add_po net "f" f;
+  let opt, stats = Netopt.optimize net in
+  assert_equivalent "dup fanins" net opt;
+  check tbool "folded to constant" true (stats.Netopt.constants_folded >= 1)
+
+let test_sequential_preserved () =
+  let net = Generators.lfsr 6 in
+  let opt, _ = Netopt.optimize net in
+  Network.validate opt;
+  check tint "latches preserved" 6 (List.length (Network.latches opt));
+  assert_equivalent "lfsr" net opt
+
+let test_idempotent () =
+  let net = Iscas_like.c432_like () in
+  let once, s1 = Netopt.optimize net in
+  let twice, s2 = Netopt.optimize once in
+  assert_equivalent "idempotence" net twice;
+  check tbool "second pass finds little" true
+    (s2.Netopt.nodes_after >= s1.Netopt.nodes_after - 2)
+
+let qc_optimize_equivalent =
+  QCheck.Test.make ~count:25 ~name:"optimize preserves random circuits"
+    QCheck.(make Gen.(int_bound 10_000))
+    (fun seed ->
+      let net = Generators.random_dag ~seed ~inputs:8 ~outputs:4 ~nodes:70 () in
+      let opt, stats = Netopt.optimize net in
+      Network.validate opt;
+      let verdict =
+        Equiv.compare_sims ~rounds:4
+          ~n_inputs:(Simulate.num_inputs_network net)
+          (fun words -> Simulate.network net words)
+          (fun words -> Simulate.network opt words)
+      in
+      Equiv.is_equivalent verdict
+      && stats.Netopt.nodes_after <= stats.Netopt.nodes_before)
+
+let () =
+  Alcotest.run "netopt"
+    [ ( "passes",
+        [ Alcotest.test_case "constant folding" `Quick test_constant_folding;
+          Alcotest.test_case "strash merging" `Quick test_strash_merging;
+          Alcotest.test_case "buffer forwarding" `Quick test_buffer_forwarding;
+          Alcotest.test_case "sweep" `Quick test_sweep;
+          Alcotest.test_case "duplicate fanins" `Quick test_duplicate_fanin_dedup;
+          Alcotest.test_case "sequential" `Quick test_sequential_preserved;
+          Alcotest.test_case "idempotent" `Quick test_idempotent ] );
+      ( "properties", [ QCheck_alcotest.to_alcotest qc_optimize_equivalent ] ) ]

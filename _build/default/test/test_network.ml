@@ -1,0 +1,146 @@
+(* Boolean network construction, traversal and validation. *)
+
+open Dagmap_logic
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let v = Bexpr.var
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let small_net () =
+  let net = Network.create ~name:"small" () in
+  let a = Network.add_pi net "a" in
+  let b = Network.add_pi net "b" in
+  let g1 = Network.add_logic net ~name:"g1" (Bexpr.and2 (v 0) (v 1)) [| a; b |] in
+  let g2 = Network.add_logic net ~name:"g2" (Bexpr.not_ (v 0)) [| g1 |] in
+  Network.add_po net "f" g2;
+  (net, a, b, g1, g2)
+
+let test_construction () =
+  let net, a, b, g1, g2 = small_net () in
+  check tint "node count" 4 (Network.num_nodes net);
+  check (Alcotest.list tint) "pis" [ a; b ] (Network.pis net);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string tint))
+    "pos" [ ("f", g2) ] (Network.pos net);
+  check tbool "g1 kind" true ((Network.node net g1).Network.kind = Network.Logic);
+  Network.validate net
+
+let test_bad_fanin_rejected () =
+  let net = Network.create () in
+  Alcotest.check_raises "bad fanin"
+    (Invalid_argument "Network.add_logic: bad fanin") (fun () ->
+      ignore (Network.add_logic net (v 0) [| 5 |]))
+
+let test_expr_exceeds_fanins () =
+  let net = Network.create () in
+  let a = Network.add_pi net "a" in
+  Alcotest.check_raises "expr exceeds fanins"
+    (Invalid_argument "Network.add_logic: expression references missing fanin")
+    (fun () -> ignore (Network.add_logic net (Bexpr.and2 (v 0) (v 1)) [| a |]))
+
+let test_topological_order () =
+  let net, _, _, _, _ = small_net () in
+  let order = Network.topological_order net in
+  check tint "order covers all" (Network.num_nodes net) (List.length order);
+  let position = Hashtbl.create 8 in
+  List.iteri (fun i id -> Hashtbl.replace position id i) order;
+  Network.iter_nodes net (fun n ->
+      Array.iter
+        (fun f ->
+          check tbool "fanin precedes user" true
+            (Hashtbl.find position f < Hashtbl.find position n.Network.id))
+        n.Network.fanins)
+
+let test_levels_and_depth () =
+  let net, a, b, g1, g2 = small_net () in
+  let levels = Network.level net in
+  check tint "pi level" 0 levels.(a);
+  check tint "pi level" 0 levels.(b);
+  check tint "g1 level" 1 levels.(g1);
+  check tint "g2 level" 2 levels.(g2);
+  check tint "depth" 2 (Network.depth net)
+
+let test_fanout_counts () =
+  let net = Network.create () in
+  let a = Network.add_pi net "a" in
+  let g1 = Network.add_logic net (Bexpr.not_ (v 0)) [| a |] in
+  let g2 = Network.add_logic net (Bexpr.and2 (v 0) (v 1)) [| a; g1 |] in
+  Network.add_po net "f" g2;
+  Network.add_po net "g" g1;
+  let counts = Network.fanout_counts net in
+  check tint "a fanout" 2 counts.(a);
+  check tint "g1 fanout" 2 counts.(g1);
+  check tint "g2 fanout" 1 counts.(g2)
+
+let test_node_truth () =
+  let net, _, _, g1, _ = small_net () in
+  check tbool "g1 is and" true
+    (Truth.equal (Network.node_truth net g1)
+       (Truth.logand (Truth.var 2 0) (Truth.var 2 1)))
+
+let test_latches () =
+  let net = Network.create () in
+  let a = Network.add_pi net "a" in
+  let q = Network.add_latch_output net ~name:"q" () in
+  let d = Network.add_logic net (Bexpr.xor2 (v 0) (v 1)) [| a; q |] in
+  (match Network.validate net with
+   | exception Failure _ -> ()
+   | () -> Alcotest.fail "unbound latch accepted");
+  Network.set_latch_input net ~latch_output:q d;
+  Network.add_po net "o" d;
+  Network.validate net;
+  check tint "one latch" 1 (List.length (Network.latches net));
+  let l = List.hd (Network.latches net) in
+  check tint "latch input" d l.Network.latch_input;
+  check tint "latch output" q l.Network.latch_output;
+  check tint "depth stops at latch" 1 (Network.depth net)
+
+let test_is_k_bounded () =
+  let net = Network.create () in
+  let pis = Array.init 5 (fun i -> Network.add_pi net (Printf.sprintf "x%d" i)) in
+  let wide = Network.add_logic net (Bexpr.and_list (List.init 5 v)) pis in
+  Network.add_po net "f" wide;
+  check tbool "5-bounded" true (Network.is_k_bounded net 5);
+  check tbool "not 4-bounded" false (Network.is_k_bounded net 4)
+
+let test_find_by_name () =
+  let net, _, _, g1, _ = small_net () in
+  check (Alcotest.option tint) "find g1" (Some g1) (Network.find_by_name net "g1");
+  check (Alcotest.option tint) "find missing" None
+    (Network.find_by_name net "nope")
+
+let test_to_dot () =
+  let net, _, _, _, _ = small_net () in
+  let dot = Network.to_dot net in
+  check tbool "digraph" true (contains dot "digraph");
+  check tbool "output node" true (contains dot "out_f")
+
+let test_stats () =
+  let net, _, _, _, _ = small_net () in
+  check tbool "stats mention counts" true
+    (contains (Network.stats net) "pi=2 po=1 logic=2 latch=0 depth=2")
+
+let () =
+  Alcotest.run "network"
+    [ ( "construction",
+        [ Alcotest.test_case "basic" `Quick test_construction;
+          Alcotest.test_case "bad fanin" `Quick test_bad_fanin_rejected;
+          Alcotest.test_case "expr exceeds fanins" `Quick test_expr_exceeds_fanins ] );
+      ( "traversal",
+        [ Alcotest.test_case "topological order" `Quick test_topological_order;
+          Alcotest.test_case "levels and depth" `Quick test_levels_and_depth;
+          Alcotest.test_case "fanout counts" `Quick test_fanout_counts;
+          Alcotest.test_case "node truth" `Quick test_node_truth ] );
+      ( "latches", [ Alcotest.test_case "two-phase latch" `Quick test_latches ] );
+      ( "misc",
+        [ Alcotest.test_case "k-bounded" `Quick test_is_k_bounded;
+          Alcotest.test_case "find by name" `Quick test_find_by_name;
+          Alcotest.test_case "dot export" `Quick test_to_dot;
+          Alcotest.test_case "stats" `Quick test_stats ] ) ]

@@ -1,0 +1,110 @@
+(* NPN / permutation utilities. *)
+
+open Dagmap_logic
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let truth_equal = Alcotest.testable Truth.pp Truth.equal
+
+let test_identity () =
+  let f = Truth.logand (Truth.var 3 0) (Truth.lognot (Truth.var 3 2)) in
+  check truth_equal "identity transform" f (Npn.apply f (Npn.identity 3))
+
+let test_apply_permutation () =
+  let f = Truth.logand (Truth.var 2 0) (Truth.lognot (Truth.var 2 1)) in
+  let t = { Npn.perm = [| 1; 0 |]; input_neg = 0; output_neg = false } in
+  check truth_equal "swap inputs"
+    (Truth.logand (Truth.var 2 1) (Truth.lognot (Truth.var 2 0)))
+    (Npn.apply f t)
+
+let test_apply_negation () =
+  let f = Truth.logand (Truth.var 2 0) (Truth.var 2 1) in
+  let t = { Npn.perm = [| 0; 1 |]; input_neg = 1; output_neg = false } in
+  check truth_equal "negate input 0"
+    (Truth.logand (Truth.lognot (Truth.var 2 0)) (Truth.var 2 1))
+    (Npn.apply f t);
+  let t' = { Npn.perm = [| 0; 1 |]; input_neg = 0; output_neg = true } in
+  check truth_equal "negate output" (Truth.lognand (Truth.var 2 0) (Truth.var 2 1))
+    (Npn.apply f t')
+
+let test_permutation_count () =
+  check tint "3! permutations" 6 (List.length (Npn.permutations 3));
+  check tint "5! permutations" 120 (List.length (Npn.permutations 5))
+
+let test_p_variants () =
+  (* A fully symmetric function has a single P-variant. *)
+  let and3 =
+    Truth.logand (Truth.var 3 0) (Truth.logand (Truth.var 3 1) (Truth.var 3 2))
+  in
+  check tint "and3 variants" 1 (List.length (Npn.p_variants and3));
+  (* An asymmetric function has distinct variants. *)
+  let f = Truth.logand (Truth.var 2 0) (Truth.lognot (Truth.var 2 1)) in
+  check tint "a&!b variants" 2 (List.length (Npn.p_variants f));
+  (* Each variant is reproduced by its permutation. *)
+  List.iter
+    (fun (v, perm) -> check truth_equal "variant consistent" v (Truth.permute f perm))
+    (Npn.p_variants f)
+
+let test_npn_canon_invariance () =
+  (* Canonical form is invariant under arbitrary NPN transforms. *)
+  let st = Random.State.make [| 9 |] in
+  for _ = 1 to 30 do
+    let n = 3 + Random.State.int st 2 in
+    let f =
+      Truth.of_minterms n
+        (List.init (1 lsl (n - 1)) (fun _ -> Random.State.int st (1 lsl n)))
+    in
+    let perm =
+      let a = Array.init n (fun i -> i) in
+      for i = n - 1 downto 1 do
+        let j = Random.State.int st (i + 1) in
+        let t = a.(i) in
+        a.(i) <- a.(j);
+        a.(j) <- t
+      done;
+      a
+    in
+    let t =
+      { Npn.perm;
+        input_neg = Random.State.int st (1 lsl n);
+        output_neg = Random.State.bool st }
+    in
+    let g = Npn.apply f t in
+    check truth_equal "canonical invariance"
+      (fst (Npn.npn_canon f))
+      (fst (Npn.npn_canon g));
+    check tbool "npn_equal" true (Npn.npn_equal f g)
+  done
+
+let test_npn_canon_transform_is_witness () =
+  let f =
+    Truth.logor
+      (Truth.logand (Truth.var 3 0) (Truth.var 3 1))
+      (Truth.lognot (Truth.var 3 2))
+  in
+  let canonical, t = Npn.npn_canon f in
+  check truth_equal "witness transform reaches canonical" canonical
+    (Npn.apply f t)
+
+let test_npn_distinguishes () =
+  (* AND and XOR are not NPN-equivalent. *)
+  let and2 = Truth.logand (Truth.var 2 0) (Truth.var 2 1) in
+  let xor2 = Truth.logxor (Truth.var 2 0) (Truth.var 2 1) in
+  check tbool "and vs xor" false (Npn.npn_equal and2 xor2);
+  (* AND and NOR are NPN-equivalent (negate inputs and output). *)
+  let nor2 = Truth.lognor (Truth.var 2 0) (Truth.var 2 1) in
+  check tbool "and vs nor" true (Npn.npn_equal and2 nor2)
+
+let () =
+  Alcotest.run "npn"
+    [ ( "transforms",
+        [ Alcotest.test_case "identity" `Quick test_identity;
+          Alcotest.test_case "permutation" `Quick test_apply_permutation;
+          Alcotest.test_case "negation" `Quick test_apply_negation;
+          Alcotest.test_case "permutation count" `Quick test_permutation_count;
+          Alcotest.test_case "p variants" `Quick test_p_variants ] );
+      ( "canonicalization",
+        [ Alcotest.test_case "invariance" `Quick test_npn_canon_invariance;
+          Alcotest.test_case "witness" `Quick test_npn_canon_transform_is_witness;
+          Alcotest.test_case "distinguishes" `Quick test_npn_distinguishes ] ) ]

@@ -1,0 +1,187 @@
+(* Pattern-graph generation: every decomposition must compute the
+   gate's function; structural properties of the NAND2-INV form. *)
+
+open Dagmap_logic
+open Dagmap_genlib
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let test_all_patterns_correct () =
+  List.iter
+    (fun name ->
+      match Libraries.by_name name with
+      | None -> Alcotest.failf "missing %s" name
+      | Some lib ->
+        check tbool (name ^ " nonempty") true (lib.Libraries.patterns <> []);
+        List.iter
+          (fun p ->
+            check tbool
+              (Printf.sprintf "%s/%s decomposition correct" name
+                 p.Pattern.gate.Gate.gate_name)
+              true
+              (Truth.equal (Pattern.func p) p.Pattern.gate.Gate.func))
+          lib.Libraries.patterns)
+    Libraries.names
+
+let test_structure_invariants () =
+  let lib = Libraries.lib2_like () in
+  List.iter
+    (fun p ->
+      (* Topological node ordering: fanins precede users. *)
+      Array.iteri
+        (fun i pn ->
+          match pn with
+          | Pattern.Pleaf _ -> ()
+          | Pattern.Pinv j -> check tbool "inv fanin order" true (j < i)
+          | Pattern.Pnand (j, k) ->
+            check tbool "nand fanin order" true (j < i && k < i))
+        p.Pattern.nodes;
+      (* No inverter pairs. *)
+      Array.iter
+        (function
+          | Pattern.Pinv j ->
+            (match p.Pattern.nodes.(j) with
+             | Pattern.Pinv _ -> Alcotest.fail "inverter pair in pattern"
+             | Pattern.Pleaf _ | Pattern.Pnand _ -> ())
+          | Pattern.Pleaf _ | Pattern.Pnand _ -> ())
+        p.Pattern.nodes;
+      (* pin_of_leaf is consistent. *)
+      Array.iteri
+        (fun i pn ->
+          match pn with
+          | Pattern.Pleaf pin ->
+            check tint "pin_of_leaf" pin p.Pattern.pin_of_leaf.(i)
+          | Pattern.Pinv _ | Pattern.Pnand _ ->
+            check tint "non-leaf pin" (-1) p.Pattern.pin_of_leaf.(i))
+        p.Pattern.nodes)
+    lib.Libraries.patterns
+
+let gate_of_expr name n expr =
+  Gate.make ~name ~area:1.0
+    ~pins:(Array.init n (fun i -> Gate.simple_pin (Printf.sprintf "p%d" i)))
+    expr
+
+let test_simple_gates () =
+  (* INV decomposes to a single Pinv over a leaf. *)
+  let inv = gate_of_expr "inv" 1 (Bexpr.not_ (Bexpr.var 0)) in
+  (match Pattern.of_gate inv with
+   | [ p ] -> check tint "inv pattern size" 2 (Pattern.size p)
+   | ps -> Alcotest.failf "inv: expected 1 pattern, got %d" (List.length ps));
+  (* NAND2 decomposes to a single Pnand. *)
+  let nand2 =
+    gate_of_expr "nand2" 2 (Bexpr.not_ (Bexpr.and2 (Bexpr.var 0) (Bexpr.var 1)))
+  in
+  (match Pattern.of_gate nand2 with
+   | [ p ] ->
+     check tint "nand2 pattern size" 3 (Pattern.size p);
+     check tint "nand2 depth" 1 p.Pattern.depth
+   | ps -> Alcotest.failf "nand2: expected 1 pattern, got %d" (List.length ps))
+
+let test_multi_shape_generation () =
+  (* A 4-input AND has several association shapes. *)
+  let and4 = gate_of_expr "and4" 4 (Bexpr.and_list (List.init 4 Bexpr.var)) in
+  let ps = Pattern.of_gate and4 in
+  check tbool "and4 has multiple shapes" true (List.length ps >= 3);
+  (* Shapes are distinct and all correct. *)
+  List.iter
+    (fun p ->
+      check tbool "and4 shape correct" true
+        (Truth.equal (Pattern.func p) and4.Gate.func))
+    ps;
+  (* Depths differ between balanced and skewed shapes. *)
+  let depths = List.sort_uniq compare (List.map (fun p -> p.Pattern.depth) ps) in
+  check tbool "balanced vs skewed depths" true (List.length depths >= 2)
+
+let test_max_shapes_cap () =
+  let and8 = gate_of_expr "and8" 8 (Bexpr.and_list (List.init 8 Bexpr.var)) in
+  let ps = Pattern.of_gate ~max_shapes:3 and8 in
+  check tbool "cap respected" true (List.length ps <= 3)
+
+let test_xor_pattern_is_shared_dag () =
+  (* A gate written with the Xor constructor decomposes into the
+     4-NAND form with a shared internal node — a true DAG pattern. *)
+  let xor = gate_of_expr "xor" 2 (Bexpr.xor2 (Bexpr.var 0) (Bexpr.var 1)) in
+  match Pattern.of_gate xor with
+  | [ p ] ->
+    check tbool "xor correct" true (Truth.equal (Pattern.func p) xor.Gate.func);
+    check tbool "xor pattern shares a node" true (not (Pattern.is_tree p));
+    check tint "xor pattern has 6 nodes" 6 (Pattern.size p)
+  | ps -> Alcotest.failf "xor: expected 1 pattern, got %d" (List.length ps)
+
+let test_sop_xor_is_tree () =
+  (* The same function in SOP form yields a leaf-DAG (tree with
+     repeated pins as distinct leaves is impossible here: leaves are
+     hash-consed per pin, so the SOP xor shares leaves only). *)
+  let sop =
+    gate_of_expr "xor_sop" 2
+      Bexpr.(
+        or2
+          (and2 (var 0) (not_ (var 1)))
+          (and2 (not_ (var 0)) (var 1)))
+  in
+  let ps = Pattern.of_gate sop in
+  check tbool "sop xor has patterns" true (ps <> []);
+  List.iter
+    (fun p ->
+      check tbool "sop xor correct" true
+        (Truth.equal (Pattern.func p) sop.Gate.func))
+    ps
+
+let test_constant_gate_no_patterns () =
+  let tie = Gate.make ~name:"tie0" ~area:0.0 ~pins:[||] (Bexpr.const false) in
+  check tint "constant gate yields no patterns" 0
+    (List.length (Pattern.of_gate tie))
+
+let test_buffer_pattern_is_leaf_rooted () =
+  let buf = gate_of_expr "buf" 1 (Bexpr.var 0) in
+  match Pattern.of_gate buf with
+  | [ p ] -> begin
+    match p.Pattern.nodes.(p.Pattern.root) with
+    | Pattern.Pleaf _ -> ()
+    | Pattern.Pinv _ | Pattern.Pnand _ -> Alcotest.fail "buffer root not a leaf"
+  end
+  | ps -> Alcotest.failf "buf: expected 1 pattern, got %d" (List.length ps)
+
+let test_fanout_counts () =
+  let xor = gate_of_expr "xor" 2 (Bexpr.xor2 (Bexpr.var 0) (Bexpr.var 1)) in
+  match Pattern.of_gate xor with
+  | [ p ] ->
+    (* The shared nand(a,b) node has two users. *)
+    let shared =
+      Array.to_list p.Pattern.fanout
+      |> List.filteri (fun i _ ->
+             match p.Pattern.nodes.(i) with
+             | Pattern.Pnand _ -> true
+             | Pattern.Pleaf _ | Pattern.Pinv _ -> false)
+      |> List.filter (fun fo -> fo = 2)
+    in
+    check tbool "one shared nand" true (List.length shared >= 1);
+    check tint "root fanout 0" 0 p.Pattern.fanout.(p.Pattern.root)
+  | _ -> Alcotest.fail "xor should give one pattern"
+
+let test_depth_bound () =
+  (* Pattern depth never exceeds node count. *)
+  let lib = Libraries.lib44_3_like () in
+  List.iter
+    (fun p ->
+      check tbool "depth sane" true
+        (p.Pattern.depth >= 1 && p.Pattern.depth < Pattern.size p))
+    lib.Libraries.patterns
+
+let () =
+  Alcotest.run "pattern"
+    [ ( "correctness",
+        [ Alcotest.test_case "all library patterns" `Quick test_all_patterns_correct;
+          Alcotest.test_case "structure invariants" `Quick test_structure_invariants ] );
+      ( "generation",
+        [ Alcotest.test_case "simple gates" `Quick test_simple_gates;
+          Alcotest.test_case "multi shapes" `Quick test_multi_shape_generation;
+          Alcotest.test_case "max shapes cap" `Quick test_max_shapes_cap;
+          Alcotest.test_case "xor shared dag" `Quick test_xor_pattern_is_shared_dag;
+          Alcotest.test_case "sop xor" `Quick test_sop_xor_is_tree;
+          Alcotest.test_case "constant gate" `Quick test_constant_gate_no_patterns;
+          Alcotest.test_case "buffer pattern" `Quick test_buffer_pattern_is_leaf_rooted;
+          Alcotest.test_case "fanout counts" `Quick test_fanout_counts;
+          Alcotest.test_case "depth bound" `Quick test_depth_bound ] ) ]

@@ -1,0 +1,215 @@
+(* Bit-parallel simulation and random equivalence checking. *)
+
+open Dagmap_logic
+open Dagmap_subject
+open Dagmap_core
+open Dagmap_genlib
+open Dagmap_sim
+open Dagmap_circuits
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let test_network_vs_subject () =
+  (* The two simulators agree word-for-word. *)
+  List.iter
+    (fun net ->
+      let g = Subject.of_network net in
+      let n = Simulate.num_inputs_network net in
+      let st = Random.State.make [| 11 |] in
+      for _ = 1 to 10 do
+        let words = Simulate.random_words st n in
+        let a = Simulate.network net words in
+        let b = Simulate.subject g words in
+        List.iter
+          (fun (name, w) ->
+            check tbool
+              (Printf.sprintf "%s agrees" name)
+              true
+              (Int64.equal w (List.assoc name b)))
+          a
+      done)
+    [ Generators.ripple_adder 6; Generators.alu 4; Generators.parity 9 ]
+
+let test_netlist_word_sim_matches_bool_eval () =
+  let net = Generators.comparator 5 in
+  let g = Subject.of_network net in
+  let db = Matchdb.prepare (Libraries.lib2_like ()) in
+  let nl = (Mapper.map Mapper.Dag db g).Mapper.netlist in
+  let n = List.length (Subject.pi_ids g) in
+  let st = Random.State.make [| 23 |] in
+  let words = Simulate.random_words st n in
+  let word_results = Simulate.netlist nl words in
+  for lane = 0 to 63 do
+    let asg =
+      Array.map
+        (fun w -> Int64.logand (Int64.shift_right_logical w lane) 1L <> 0L)
+        words
+    in
+    let bool_results = Netlist.eval nl asg in
+    List.iter
+      (fun (name, w) ->
+        let bit = Int64.logand (Int64.shift_right_logical w lane) 1L <> 0L in
+        check tbool
+          (Printf.sprintf "%s lane %d" name lane)
+          (List.assoc name bool_results)
+          bit)
+      word_results
+  done
+
+let test_latch_pseudo_outputs () =
+  let net = Generators.lfsr 4 in
+  let n = Simulate.num_inputs_network net in
+  check tint "inputs = enable + 4 latch outs" 5 n;
+  let words = Array.make n 0L in
+  let results = Simulate.network net words in
+  check tbool "latch inputs reported" true
+    (List.mem_assoc "$latch_in0" results);
+  (* Agreement with the subject simulator on latch inputs too. *)
+  let g = Subject.of_network net in
+  let st = Random.State.make [| 5 |] in
+  for _ = 1 to 5 do
+    let words = Simulate.random_words st n in
+    let a = Simulate.network net words in
+    let b = Simulate.subject g words in
+    List.iter
+      (fun (name, w) ->
+        check tbool (name ^ " agrees") true (Int64.equal w (List.assoc name b)))
+      a
+  done
+
+let test_equiv_detects_equivalence () =
+  let net = Generators.ripple_adder 5 in
+  let g = Subject.of_network net in
+  let verdict =
+    Equiv.compare_sims ~n_inputs:(Simulate.num_inputs_network net)
+      (fun words -> Simulate.network net words)
+      (fun words -> Simulate.subject g words)
+  in
+  check tbool "equivalent" true (Equiv.is_equivalent verdict)
+
+let test_equiv_detects_difference () =
+  let net = Generators.ripple_adder 3 in
+  let broken = Generators.ripple_adder 3 in
+  (* Mutate one node's function: flip the final carry. *)
+  let n_inputs = Simulate.num_inputs_network net in
+  let verdict =
+    Equiv.compare_sims ~n_inputs
+      (fun words -> Simulate.network net words)
+      (fun words ->
+        List.map
+          (fun (name, w) ->
+            if String.equal name "cout" then (name, Int64.lognot w) else (name, w))
+          (Simulate.network broken words))
+  in
+  (match verdict with
+   | Equiv.Counterexample { output; inputs } ->
+     check Alcotest.string "culprit output" "cout" output;
+     check tint "counterexample width" n_inputs (Array.length inputs)
+   | Equiv.Equivalent | Equiv.Output_mismatch _ ->
+     Alcotest.fail "expected a counterexample")
+
+let test_equiv_detects_missing_output () =
+  let net = Generators.parity 4 in
+  let verdict =
+    Equiv.compare_sims ~n_inputs:4
+      (fun words -> Simulate.network net words)
+      (fun _ -> [])
+  in
+  match verdict with
+  | Equiv.Output_mismatch { missing; _ } ->
+    check (Alcotest.list Alcotest.string) "missing par" [ "par" ] missing
+  | Equiv.Equivalent | Equiv.Counterexample _ ->
+    Alcotest.fail "expected output mismatch"
+
+let test_extra_outputs_tolerated () =
+  let net = Generators.parity 4 in
+  let verdict =
+    Equiv.compare_sims ~n_inputs:4
+      (fun words -> Simulate.network net words)
+      (fun words -> ("extra", 0L) :: Simulate.network net words)
+  in
+  check tbool "extra outputs ok" true (Equiv.is_equivalent verdict)
+
+let test_counterexample_is_real () =
+  (* The returned assignment really distinguishes the circuits. *)
+  let net = Generators.comparator 3 in
+  let sim1 words = Simulate.network net words in
+  let sim2 words =
+    List.map
+      (fun (name, w) ->
+        if String.equal name "lt" then (name, Int64.logxor w 1L) else (name, w))
+      (Simulate.network net words)
+  in
+  match Equiv.compare_sims ~n_inputs:6 sim1 sim2 with
+  | Equiv.Counterexample { output; inputs } ->
+    let words =
+      Array.map (fun b -> if b then 1L else 0L) inputs
+    in
+    let v1 = List.assoc output (sim1 words) in
+    let v2 = List.assoc output (sim2 words) in
+    check tbool "differs on lane 0" true
+      (Int64.logand (Int64.logxor v1 v2) 1L = 1L)
+  | Equiv.Equivalent ->
+    (* The mutation only affects lane 0; the extreme all-zero round
+       may not expose it — but lane 0 of round 1+ will. *)
+    Alcotest.fail "expected counterexample"
+  | Equiv.Output_mismatch _ -> Alcotest.fail "unexpected mismatch"
+
+let test_random_words_deterministic () =
+  let a = Simulate.random_words (Random.State.make [| 3 |]) 5 in
+  let b = Simulate.random_words (Random.State.make [| 3 |]) 5 in
+  check tbool "deterministic" true (a = b)
+
+let test_gate_word_eval_vs_truth () =
+  (* Simulate.netlist's word-level gate evaluation agrees with the
+     scalar truth-table evaluation (indirectly, via a 1-gate netlist). *)
+  let bld = Subject.Builder.create () in
+  let x = Subject.Builder.pi bld "x" in
+  let y = Subject.Builder.pi bld "y" in
+  let z = Subject.Builder.pi bld "z" in
+  let n1 = Subject.Builder.nand bld x y in
+  let n2 = Subject.Builder.nand bld n1 z in
+  Subject.Builder.output bld "o" n2;
+  let g = Subject.Builder.finish bld in
+  let maj =
+    Gate.make ~name:"anything" ~area:1.0
+      ~pins:(Array.init 3 (fun i -> Gate.simple_pin (Printf.sprintf "p%d" i)))
+      Bexpr.(not_ (and2 (not_ (and2 (var 0) (var 1))) (var 2)))
+  in
+  let nl =
+    { Netlist.source = g;
+      instances =
+        [| { Netlist.inst_id = 0; gate = maj;
+             inputs = [| Netlist.D_pi x; Netlist.D_pi y; Netlist.D_pi z |];
+             subject_root = n2; covers = [| n1; n2 |] } |];
+      outputs = [ ("o", Netlist.D_gate 0) ] }
+  in
+  Netlist.validate nl;
+  let st = Random.State.make [| 77 |] in
+  let words = Simulate.random_words st 3 in
+  let w = List.assoc "o" (Simulate.netlist nl words) in
+  let expected = List.assoc "o" (Simulate.subject g words) in
+  check tbool "word eval matches" true (Int64.equal w expected)
+
+let () =
+  Alcotest.run "sim"
+    [ ( "simulators",
+        [ Alcotest.test_case "network vs subject" `Quick test_network_vs_subject;
+          Alcotest.test_case "netlist word sim" `Quick
+            test_netlist_word_sim_matches_bool_eval;
+          Alcotest.test_case "latch pseudo outputs" `Quick
+            test_latch_pseudo_outputs;
+          Alcotest.test_case "gate word eval" `Quick test_gate_word_eval_vs_truth;
+          Alcotest.test_case "random words" `Quick test_random_words_deterministic ] );
+      ( "equivalence",
+        [ Alcotest.test_case "detects equivalence" `Quick
+            test_equiv_detects_equivalence;
+          Alcotest.test_case "detects difference" `Quick
+            test_equiv_detects_difference;
+          Alcotest.test_case "detects missing output" `Quick
+            test_equiv_detects_missing_output;
+          Alcotest.test_case "extra outputs" `Quick test_extra_outputs_tolerated;
+          Alcotest.test_case "counterexample real" `Quick
+            test_counterexample_is_real ] ) ]

@@ -1,0 +1,124 @@
+(* Two-level minimization: prime-implicant covers. *)
+
+open Dagmap_logic
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let truth_equal = Alcotest.testable Truth.pp Truth.equal
+
+let v = Truth.var
+
+let test_constants () =
+  check tint "false cover empty" 0 (List.length (Sop.minimize (Truth.const 3 false)));
+  (match Sop.minimize (Truth.const 3 true) with
+   | [ c ] ->
+     check tint "universal cube mask" 0 c.Sop.mask;
+     check tint "no literals" 0 (List.length (Sop.cube_literals c))
+   | cs -> Alcotest.failf "expected 1 cube, got %d" (List.length cs))
+
+let test_known_covers () =
+  (* AND: one cube with all literals. *)
+  let and3 = Truth.logand (v 3 0) (Truth.logand (v 3 1) (v 3 2)) in
+  (match Sop.minimize and3 with
+   | [ c ] -> check tint "and3 literals" 3 (List.length (Sop.cube_literals c))
+   | cs -> Alcotest.failf "and3: %d cubes" (List.length cs));
+  (* OR: n single-literal cubes. *)
+  let or3 = Truth.logor (v 3 0) (Truth.logor (v 3 1) (v 3 2)) in
+  let cubes = Sop.minimize or3 in
+  check tint "or3 cube count" 3 (List.length cubes);
+  List.iter
+    (fun c -> check tint "single literal" 1 (List.length (Sop.cube_literals c)))
+    cubes;
+  (* XOR of n variables needs 2^(n-1) cubes. *)
+  let xor3 = Truth.logxor (v 3 0) (Truth.logxor (v 3 1) (v 3 2)) in
+  check tint "xor3 cube count" 4 (List.length (Sop.minimize xor3))
+
+let test_redundancy_removed () =
+  (* f = a b + a !b = a: must minimize to a single cube. *)
+  let f =
+    Truth.logor
+      (Truth.logand (v 2 0) (v 2 1))
+      (Truth.logand (v 2 0) (Truth.lognot (v 2 1)))
+  in
+  match Sop.minimize f with
+  | [ c ] -> check tint "merged to one literal" 1 (List.length (Sop.cube_literals c))
+  | cs -> Alcotest.failf "expected 1 cube, got %d" (List.length cs)
+
+let test_primality () =
+  (* Every cube in the cover is prime: dropping any literal leaves
+     the on-set. *)
+  let st = Random.State.make [| 99 |] in
+  for _ = 1 to 20 do
+    let n = 2 + Random.State.int st 4 in
+    let tt =
+      Truth.of_minterms n
+        (List.init (1 lsl (n - 1)) (fun _ -> Random.State.int st (1 lsl n)))
+    in
+    if Truth.is_const tt = None then
+      List.iter
+        (fun c ->
+          List.iter
+            (fun (i, _) ->
+              let widened =
+                { Sop.mask = c.Sop.mask land lnot (1 lsl i);
+                  value = c.Sop.value land lnot (1 lsl i) }
+              in
+              (* The widened cube must leave the on-set somewhere. *)
+              let escapes = ref false in
+              for m = 0 to (1 lsl n) - 1 do
+                if Sop.cube_covers widened m && not (Truth.get_bit tt m) then
+                  escapes := true
+              done;
+              check tbool "cube is prime" true !escapes)
+            (Sop.cube_literals c))
+        (Sop.minimize tt)
+  done
+
+let test_expr_roundtrip () =
+  let e =
+    Bexpr.(
+      or2
+        (and2 (var 0) (or2 (var 1) (not_ (var 2))))
+        (and2 (not_ (var 0)) (var 3)))
+  in
+  let minimized = Sop.minimize_expr 4 e in
+  check truth_equal "minimize_expr preserves function"
+    (Bexpr.to_truth 4 e)
+    (Bexpr.to_truth 4 minimized)
+
+let qc_cover_exact =
+  QCheck.Test.make ~count:200 ~name:"cover equals function"
+    QCheck.(make Gen.(pair (int_range 1 6) (int_bound 1_000_000)))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed; n |] in
+      let tt =
+        Truth.of_minterms n
+          (List.init (1 lsl (max 0 (n - 1))) (fun _ ->
+               Random.State.int st (1 lsl n)))
+      in
+      Truth.equal tt (Sop.to_truth n (Sop.minimize tt)))
+
+let qc_no_more_cubes_than_minterms =
+  QCheck.Test.make ~count:100 ~name:"cube count bounded by minterms"
+    QCheck.(make Gen.(pair (int_range 1 5) (int_bound 1_000_000)))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed; n; 3 |] in
+      let tt =
+        Truth.of_minterms n
+          (List.init (1 lsl (max 0 (n - 1))) (fun _ ->
+               Random.State.int st (1 lsl n)))
+      in
+      List.length (Sop.minimize tt) <= max 1 (Truth.count_ones tt))
+
+let () =
+  Alcotest.run "sop"
+    [ ( "covers",
+        [ Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "known covers" `Quick test_known_covers;
+          Alcotest.test_case "redundancy removed" `Quick test_redundancy_removed;
+          Alcotest.test_case "primality" `Quick test_primality;
+          Alcotest.test_case "expr roundtrip" `Quick test_expr_roundtrip ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest qc_cover_exact;
+          QCheck_alcotest.to_alcotest qc_no_more_cubes_than_minterms ] ) ]

@@ -1,0 +1,98 @@
+(* Static timing analysis: arrival/required/slack invariants and
+   critical-path extraction. *)
+
+open Dagmap_genlib
+open Dagmap_subject
+open Dagmap_core
+open Dagmap_timing
+open Dagmap_circuits
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tfloat = Alcotest.float 1e-6
+
+let mapped_example () =
+  let net = Generators.alu 8 in
+  let g = Subject.of_network net in
+  let db = Matchdb.prepare (Libraries.lib2_like ()) in
+  (Mapper.map Mapper.Dag db g).Mapper.netlist
+
+let test_arrival_agrees_with_netlist () =
+  let nl = mapped_example () in
+  let report = Sta.analyze nl in
+  let reference = Netlist.arrival_times nl in
+  Array.iteri
+    (fun i a -> check tfloat (Printf.sprintf "arrival %d" i) reference.(i) a)
+    report.Sta.arrival;
+  check tfloat "worst delay" (Netlist.delay nl) report.Sta.worst_delay
+
+let test_slack_invariants () =
+  let nl = mapped_example () in
+  let report = Sta.analyze nl in
+  Array.iteri
+    (fun i s ->
+      check tbool (Printf.sprintf "slack %d nonnegative" i) true (s >= -1e-6))
+    report.Sta.slack;
+  let min_slack = Array.fold_left Float.min infinity report.Sta.slack in
+  check tbool "critical slack zero" true (Float.abs min_slack < 1e-6)
+
+let test_critical_path_structure () =
+  let nl = mapped_example () in
+  let report = Sta.analyze nl in
+  check tbool "path nonempty" true (report.Sta.critical_path <> []);
+  let rec increasing = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) ->
+      a.Sta.pe_arrival <= b.Sta.pe_arrival +. 1e-9 && increasing rest
+  in
+  check tbool "arrivals increase" true (increasing report.Sta.critical_path);
+  let last =
+    List.nth report.Sta.critical_path
+      (List.length report.Sta.critical_path - 1)
+  in
+  check tfloat "path ends at worst delay" report.Sta.worst_delay
+    last.Sta.pe_arrival;
+  List.iter
+    (fun pe ->
+      check tbool "path element slack" true
+        (Float.abs report.Sta.slack.(pe.Sta.pe_instance) < 1e-6))
+    report.Sta.critical_path
+
+let test_relaxed_required_time () =
+  let nl = mapped_example () in
+  let d = Netlist.delay nl in
+  let report = Sta.analyze ~required_time:(d +. 5.0) nl in
+  let tight = Sta.analyze nl in
+  Array.iteri
+    (fun i s ->
+      check tfloat
+        (Printf.sprintf "slack %d shifted" i)
+        (tight.Sta.slack.(i) +. 5.0)
+        s)
+    report.Sta.slack;
+  check Alcotest.int "nothing critical under relaxation" 0
+    (Sta.num_critical report 1.0)
+
+let test_num_critical_counts () =
+  let nl = mapped_example () in
+  let report = Sta.analyze nl in
+  let n = Sta.num_critical report 1e-6 in
+  check tbool "at least the path is critical" true
+    (n >= List.length report.Sta.critical_path)
+
+let test_pp_path_renders () =
+  let nl = mapped_example () in
+  let report = Sta.analyze nl in
+  let text = Format.asprintf "%a" Sta.pp_path report in
+  check tbool "render nonempty" true (String.length text > 20)
+
+let () =
+  Alcotest.run "sta"
+    [ ( "analysis",
+        [ Alcotest.test_case "arrival agreement" `Quick
+            test_arrival_agrees_with_netlist;
+          Alcotest.test_case "slack invariants" `Quick test_slack_invariants;
+          Alcotest.test_case "critical path" `Quick test_critical_path_structure;
+          Alcotest.test_case "relaxed required" `Quick test_relaxed_required_time;
+          Alcotest.test_case "num critical" `Quick test_num_critical_counts;
+          Alcotest.test_case "pp path" `Quick test_pp_path_renders ] ) ]

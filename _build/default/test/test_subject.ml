@@ -1,0 +1,235 @@
+(* Subject graph construction: NAND2-INV decomposition equivalence,
+   structural hashing, constant folding, builder behavior. *)
+
+open Dagmap_logic
+open Dagmap_subject
+open Dagmap_circuits
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let v = Bexpr.var
+
+(* Exhaustive equivalence between a network and its subject graph for
+   small input counts. *)
+let assert_equiv ?(max_inputs = 12) net =
+  let sg = Subject.of_network net in
+  let n_pis = List.length (Network.pis net) in
+  Alcotest.(check bool) "no latches in this helper" true (Network.latches net = []);
+  if n_pis <= max_inputs then
+    for m = 0 to (1 lsl n_pis) - 1 do
+      let asg = Array.init n_pis (fun i -> m land (1 lsl i) <> 0) in
+      let expected =
+        (* Reference: evaluate the network directly. *)
+        let value = Array.make (Network.num_nodes net) false in
+        List.iteri (fun i id -> value.(id) <- asg.(i)) (Network.pis net);
+        List.iter
+          (fun id ->
+            let n = Network.node net id in
+            match n.Network.kind with
+            | Network.Pi | Network.Latch_out -> ()
+            | Network.Logic ->
+              value.(id) <-
+                Bexpr.eval n.Network.expr (fun i -> value.(n.Network.fanins.(i))))
+          (Network.topological_order net);
+        List.map (fun (name, id) -> (name, value.(id))) (Network.pos net)
+      in
+      let actual = Subject.eval sg asg in
+      List.iter
+        (fun (name, value) ->
+          match List.assoc_opt name actual with
+          | None -> Alcotest.failf "missing output %s" name
+          | Some actual_value ->
+            if actual_value <> value then
+              Alcotest.failf "output %s differs on minterm %d" name m)
+        expected
+    done
+  else Alcotest.fail "too many inputs for exhaustive check"
+
+let test_simple_decomposition () =
+  let net = Network.create () in
+  let a = Network.add_pi net "a" and b = Network.add_pi net "b" in
+  let c = Network.add_pi net "c" in
+  let f =
+    Network.add_logic net
+      Bexpr.(or2 (and2 (v 0) (v 1)) (not_ (v 2)))
+      [| a; b; c |]
+  in
+  Network.add_po net "f" f;
+  assert_equiv net;
+  let sg = Subject.of_network net in
+  check tint "three PIs" 3 sg.Subject.num_pis
+
+let test_xor_decomposition () =
+  let net = Network.create () in
+  let a = Network.add_pi net "a" and b = Network.add_pi net "b" in
+  let f = Network.add_logic net Bexpr.(xor2 (v 0) (v 1)) [| a; b |] in
+  Network.add_po net "f" f;
+  assert_equiv net
+
+let test_wide_node () =
+  let net = Network.create () in
+  let pis = Array.init 6 (fun i -> Network.add_pi net (Printf.sprintf "x%d" i)) in
+  let f = Network.add_logic net (Bexpr.or_list (List.init 6 v)) pis in
+  Network.add_po net "f" f;
+  assert_equiv net;
+  let sg = Subject.of_network net in
+  (* Balanced reduction keeps the decomposition shallow. *)
+  check tbool "balanced depth" true (Subject.depth sg <= 6)
+
+let test_structural_hashing () =
+  let net = Network.create () in
+  let a = Network.add_pi net "a" and b = Network.add_pi net "b" in
+  (* Two nodes with the same function decompose to shared NANDs. *)
+  let f = Network.add_logic net Bexpr.(and2 (v 0) (v 1)) [| a; b |] in
+  let g = Network.add_logic net Bexpr.(and2 (v 1) (v 0)) [| b; a |] in
+  Network.add_po net "f" f;
+  Network.add_po net "g" g;
+  let sg = Subject.of_network net in
+  (* a&b and b&a share: 2 PIs + 1 nand + 1 inv. *)
+  check tint "hashed node count" 4 (Subject.num_nodes sg)
+
+let test_no_inverter_pairs () =
+  List.iter
+    (fun (_, net) ->
+      let sg = Subject.of_network net in
+      for i = 0 to Subject.num_nodes sg - 1 do
+        match Subject.kind sg i with
+        | Subject.Sinv x -> begin
+          match Subject.kind sg x with
+          | Subject.Sinv _ -> Alcotest.fail "inverter pair in subject graph"
+          | Subject.Spi | Subject.Snand _ -> ()
+        end
+        | Subject.Spi | Subject.Snand _ -> ()
+      done)
+    [ ("c432", Iscas_like.c432_like ()); ("adder", Generators.ripple_adder 8) ]
+
+let test_constant_output () =
+  let net = Network.create () in
+  let a = Network.add_pi net "a" in
+  (* f = a & !a = 0 after folding; g = a | !a = 1. *)
+  let na = Network.add_logic net Bexpr.(not_ (v 0)) [| a |] in
+  let f = Network.add_logic net Bexpr.(and2 (v 0) (and2 (v 1) (not_ (v 1)))) [| a; na |] in
+  ignore f;
+  let z = Network.add_logic net (Bexpr.const false) [||] in
+  let o = Network.add_logic net (Bexpr.const true) [||] in
+  Network.add_po net "zero" z;
+  Network.add_po net "one" o;
+  let sg = Subject.of_network net in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string tbool))
+    "const outputs"
+    [ ("zero", false); ("one", true) ]
+    sg.Subject.const_outputs;
+  let results = Subject.eval sg [| true |] in
+  check tbool "zero" false (List.assoc "zero" results);
+  check tbool "one" true (List.assoc "one" results)
+
+let test_po_driven_by_pi () =
+  let net = Network.create () in
+  let a = Network.add_pi net "a" in
+  Network.add_po net "f" a;
+  let sg = Subject.of_network net in
+  let out = List.hd sg.Subject.outputs in
+  check tbool "output is the PI node" true
+    (Subject.kind sg out.Subject.out_node = Subject.Spi)
+
+let test_latch_boundaries () =
+  let net = Generators.lfsr 4 in
+  let sg = Subject.of_network net in
+  check tint "latch count recorded" 4 sg.Subject.n_latches;
+  (* PIs: 1 enable + 4 latch outputs. *)
+  check tint "pi count" 5 (List.length (Subject.pi_ids sg));
+  (* Outputs: 4 POs + 4 latch inputs. *)
+  check tint "output count" 8 (List.length sg.Subject.outputs)
+
+let test_builder_hashing_and_raw () =
+  let b = Subject.Builder.create () in
+  let x = Subject.Builder.pi b "x" in
+  let y = Subject.Builder.pi b "y" in
+  let n1 = Subject.Builder.nand b x y in
+  let n2 = Subject.Builder.nand b y x in
+  check tint "commutative hashing" n1 n2;
+  let r1 = Subject.Builder.raw_nand b x y in
+  check tbool "raw always fresh" true (r1 <> n1);
+  let i1 = Subject.Builder.inv b n1 in
+  check tint "inv cancellation" n1 (Subject.Builder.inv b i1);
+  Subject.Builder.output b "o" i1;
+  let g = Subject.Builder.finish b in
+  check tint "node count" 5 (Subject.num_nodes g)
+
+let test_fanout_counts () =
+  let b = Subject.Builder.create () in
+  let x = Subject.Builder.pi b "x" in
+  let y = Subject.Builder.pi b "y" in
+  let n1 = Subject.Builder.nand b x y in
+  let n2 = Subject.Builder.nand b x n1 in
+  Subject.Builder.output b "o" n2;
+  Subject.Builder.output b "p" n1;
+  let g = Subject.Builder.finish b in
+  let fo = Subject.fanout_counts g in
+  check tint "x fanout" 2 fo.(x);
+  check tint "n1 fanout" 2 fo.(n1);
+  check tint "n2 fanout" 1 fo.(n2)
+
+let test_levels () =
+  let b = Subject.Builder.create () in
+  let x = Subject.Builder.pi b "x" in
+  let i = Subject.Builder.inv b x in
+  let n = Subject.Builder.nand b x i in
+  Subject.Builder.output b "o" n;
+  let g = Subject.Builder.finish b in
+  let lv = Subject.levels g in
+  check tint "pi level" 0 lv.(x);
+  check tint "inv level" 1 lv.(i);
+  check tint "nand level" 2 lv.(n);
+  check tint "depth" 2 (Subject.depth g)
+
+(* QCheck: random networks decompose equivalently. *)
+let qc_random_equiv =
+  QCheck.Test.make ~count:30 ~name:"random network decomposition equivalence"
+    QCheck.(make Gen.(int_bound 10_000))
+    (fun seed ->
+      let net =
+        Generators.random_dag ~seed ~inputs:8 ~outputs:4 ~nodes:40 ()
+      in
+      let sg = Subject.of_network net in
+      let ok = ref true in
+      for m = 0 to 255 do
+        let asg = Array.init 8 (fun i -> m land (1 lsl i) <> 0) in
+        let value = Array.make (Network.num_nodes net) false in
+        List.iteri (fun i id -> value.(id) <- asg.(i)) (Network.pis net);
+        List.iter
+          (fun id ->
+            let n = Network.node net id in
+            match n.Network.kind with
+            | Network.Pi | Network.Latch_out -> ()
+            | Network.Logic ->
+              value.(id) <-
+                Bexpr.eval n.Network.expr (fun i -> value.(n.Network.fanins.(i))))
+          (Network.topological_order net);
+        let actual = Subject.eval sg asg in
+        List.iter
+          (fun (name, id) ->
+            if List.assoc name actual <> value.(id) then ok := false)
+          (Network.pos net)
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "subject"
+    [ ( "decomposition",
+        [ Alcotest.test_case "simple" `Quick test_simple_decomposition;
+          Alcotest.test_case "xor" `Quick test_xor_decomposition;
+          Alcotest.test_case "wide node" `Quick test_wide_node;
+          Alcotest.test_case "structural hashing" `Quick test_structural_hashing;
+          Alcotest.test_case "no inverter pairs" `Quick test_no_inverter_pairs;
+          Alcotest.test_case "constant outputs" `Quick test_constant_output;
+          Alcotest.test_case "po driven by pi" `Quick test_po_driven_by_pi;
+          Alcotest.test_case "latch boundaries" `Quick test_latch_boundaries ] );
+      ( "builder",
+        [ Alcotest.test_case "hashing and raw" `Quick test_builder_hashing_and_raw;
+          Alcotest.test_case "fanout counts" `Quick test_fanout_counts;
+          Alcotest.test_case "levels" `Quick test_levels ] );
+      ( "properties", [ QCheck_alcotest.to_alcotest qc_random_equiv ] ) ]

@@ -1,0 +1,305 @@
+(* Truth-table algebra: constructors, connectives, structural
+   operations and their algebraic laws, plus QCheck properties
+   against a reference bit-by-bit evaluator. *)
+
+open Dagmap_logic
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let truth_equal = Alcotest.testable Truth.pp Truth.equal
+
+(* --- constructors ------------------------------------------------- *)
+
+let test_const () =
+  List.iter
+    (fun n ->
+      check tbool "const false is const" true
+        (Truth.is_const (Truth.const n false) = Some false);
+      check tbool "const true is const" true
+        (Truth.is_const (Truth.const n true) = Some true);
+      check tint "count_ones of true" (1 lsl n)
+        (Truth.count_ones (Truth.const n true)))
+    [ 0; 1; 3; 6; 7; 10 ]
+
+let test_var_balance () =
+  (* Each projection has exactly half its minterms set. *)
+  for n = 1 to 8 do
+    for i = 0 to n - 1 do
+      check tint
+        (Printf.sprintf "var %d/%d balance" i n)
+        (1 lsl (n - 1))
+        (Truth.count_ones (Truth.var n i))
+    done
+  done
+
+let test_var_bits () =
+  let v = Truth.var 3 1 in
+  for m = 0 to 7 do
+    check tbool
+      (Printf.sprintf "bit %d of var 3 1" m)
+      (m land 2 <> 0) (Truth.get_bit v m)
+  done
+
+let test_too_many_vars () =
+  Alcotest.check_raises "17 vars rejected" (Truth.Too_many_vars 17) (fun () ->
+      ignore (Truth.const 17 false))
+
+(* --- connectives and laws ---------------------------------------- *)
+
+let test_de_morgan () =
+  for n = 1 to 7 do
+    let a = Truth.var n 0 in
+    let b = Truth.var n (n - 1) in
+    check truth_equal "!(a&b) = !a | !b"
+      (Truth.lognot (Truth.logand a b))
+      (Truth.logor (Truth.lognot a) (Truth.lognot b));
+    check truth_equal "!(a|b) = !a & !b"
+      (Truth.lognot (Truth.logor a b))
+      (Truth.logand (Truth.lognot a) (Truth.lognot b))
+  done
+
+let test_xor_definition () =
+  let n = 5 in
+  let a = Truth.var n 2 and b = Truth.var n 4 in
+  check truth_equal "xor = (a & !b) | (!a & b)" (Truth.logxor a b)
+    (Truth.logor
+       (Truth.logand a (Truth.lognot b))
+       (Truth.logand (Truth.lognot a) b));
+  check truth_equal "xnor = !(xor)" (Truth.logxnor a b)
+    (Truth.lognot (Truth.logxor a b))
+
+let test_involution () =
+  let t = Truth.logxor (Truth.var 9 8) (Truth.var 9 0) in
+  check truth_equal "double negation" t (Truth.lognot (Truth.lognot t))
+
+let test_arity_mismatch () =
+  Alcotest.check_raises "mixed arity rejected"
+    (Invalid_argument "Truth: arity mismatch") (fun () ->
+      ignore (Truth.logand (Truth.var 3 0) (Truth.var 4 0)))
+
+(* --- bit access ---------------------------------------------------- *)
+
+let test_set_get () =
+  let t = ref (Truth.const 7 false) in
+  let set = [ 0; 1; 63; 64; 65; 127 ] in
+  List.iter (fun m -> t := Truth.set_bit !t m true) set;
+  check tint "count after sets" (List.length set) (Truth.count_ones !t);
+  List.iter
+    (fun m -> check tbool (Printf.sprintf "bit %d" m) true (Truth.get_bit !t m))
+    set;
+  check tbool "unset bit" false (Truth.get_bit !t 100);
+  t := Truth.set_bit !t 63 false;
+  check tbool "cleared" false (Truth.get_bit !t 63)
+
+let test_of_minterms () =
+  let t = Truth.of_minterms 4 [ 3; 5; 9 ] in
+  check tint "three minterms" 3 (Truth.count_ones t);
+  check tbool "minterm 5" true (Truth.get_bit t 5);
+  check tbool "minterm 6" false (Truth.get_bit t 6)
+
+(* --- eval ---------------------------------------------------------- *)
+
+let test_eval () =
+  let n = 8 in
+  (* f = x1 & !x6 *)
+  let f = Truth.logand (Truth.var n 1) (Truth.lognot (Truth.var n 6)) in
+  let assignment = Array.make n false in
+  assignment.(1) <- true;
+  check tbool "x1 & !x6 with x6=0" true (Truth.eval f assignment);
+  assignment.(6) <- true;
+  check tbool "x1 & !x6 with x6=1" false (Truth.eval f assignment)
+
+(* --- cofactors, support -------------------------------------------- *)
+
+let test_cofactor_shannon () =
+  (* Shannon expansion f = (!xi & f0) | (xi & f1) over random functions. *)
+  let st = Random.State.make [| 7 |] in
+  for n = 1 to 9 do
+    let f =
+      Truth.of_minterms n
+        (List.init (1 lsl (n - 1)) (fun _ -> Random.State.int st (1 lsl n)))
+    in
+    for i = 0 to n - 1 do
+      let f0 = Truth.cofactor f i false and f1 = Truth.cofactor f i true in
+      let xi = Truth.var n i in
+      check truth_equal
+        (Printf.sprintf "shannon n=%d i=%d" n i)
+        f
+        (Truth.logor
+           (Truth.logand (Truth.lognot xi) f0)
+           (Truth.logand xi f1));
+      check tbool "cofactor drops dependence" false (Truth.depends_on f0 i)
+    done
+  done
+
+let test_support () =
+  let n = 6 in
+  let f = Truth.logxor (Truth.var n 1) (Truth.var n 4) in
+  check (Alcotest.list tint) "support" [ 1; 4 ] (Truth.support f);
+  check (Alcotest.list tint) "support of const" []
+    (Truth.support (Truth.const n true))
+
+(* --- permute / expand ---------------------------------------------- *)
+
+let test_permute () =
+  let n = 5 in
+  let f = Truth.logand (Truth.var n 0) (Truth.lognot (Truth.var n 3)) in
+  let perm = [| 4; 1; 2; 0; 3 |] in
+  let g = Truth.permute f perm in
+  check truth_equal "permute moves vars"
+    (Truth.logand (Truth.var n 4) (Truth.lognot (Truth.var n 0)))
+    g;
+  (* Inverse permutation restores the function. *)
+  let inv = Array.make n 0 in
+  Array.iteri (fun i p -> inv.(p) <- i) perm;
+  check truth_equal "permute inverse" f (Truth.permute g inv)
+
+let test_expand () =
+  let small = Truth.logand (Truth.var 2 0) (Truth.var 2 1) in
+  let big = Truth.expand small 5 [| 3; 1 |] in
+  check truth_equal "expand places vars"
+    (Truth.logand (Truth.var 5 3) (Truth.var 5 1))
+    big
+
+(* --- hashing / comparison ------------------------------------------ *)
+
+let test_hash_stability () =
+  let a = Truth.logxor (Truth.var 7 0) (Truth.var 7 6) in
+  let b = Truth.logxor (Truth.var 7 0) (Truth.var 7 6) in
+  check tbool "equal tables hash equal" true (Truth.hash a = Truth.hash b);
+  check tint "compare equal" 0 (Truth.compare a b)
+
+(* --- QCheck: equivalence with a reference evaluator ---------------- *)
+
+(* Random expression trees evaluated two ways: via Truth algebra and
+   via direct boolean evaluation on every assignment. *)
+type rexpr =
+  | Rvar of int
+  | Rnot of rexpr
+  | Rand of rexpr * rexpr
+  | Ror of rexpr * rexpr
+  | Rxor of rexpr * rexpr
+
+let rec rexpr_gen n depth =
+  let open QCheck.Gen in
+  if depth = 0 then map (fun i -> Rvar i) (int_bound (n - 1))
+  else
+    frequency
+      [ (2, map (fun i -> Rvar i) (int_bound (n - 1)));
+        (1, map (fun e -> Rnot e) (rexpr_gen n (depth - 1)));
+        (2, map2 (fun a b -> Rand (a, b)) (rexpr_gen n (depth - 1)) (rexpr_gen n (depth - 1)));
+        (2, map2 (fun a b -> Ror (a, b)) (rexpr_gen n (depth - 1)) (rexpr_gen n (depth - 1)));
+        (1, map2 (fun a b -> Rxor (a, b)) (rexpr_gen n (depth - 1)) (rexpr_gen n (depth - 1))) ]
+
+let rec rexpr_truth n = function
+  | Rvar i -> Truth.var n i
+  | Rnot a -> Truth.lognot (rexpr_truth n a)
+  | Rand (a, b) -> Truth.logand (rexpr_truth n a) (rexpr_truth n b)
+  | Ror (a, b) -> Truth.logor (rexpr_truth n a) (rexpr_truth n b)
+  | Rxor (a, b) -> Truth.logxor (rexpr_truth n a) (rexpr_truth n b)
+
+let rec rexpr_eval env = function
+  | Rvar i -> env.(i)
+  | Rnot a -> not (rexpr_eval env a)
+  | Rand (a, b) -> rexpr_eval env a && rexpr_eval env b
+  | Ror (a, b) -> rexpr_eval env a || rexpr_eval env b
+  | Rxor (a, b) -> rexpr_eval env a <> rexpr_eval env b
+
+let n_qc = 7
+
+let qc_truth_vs_eval =
+  QCheck.Test.make ~count:200 ~name:"truth algebra matches evaluator"
+    (QCheck.make (rexpr_gen n_qc 5))
+    (fun e ->
+      let tt = rexpr_truth n_qc e in
+      let ok = ref true in
+      for m = 0 to (1 lsl n_qc) - 1 do
+        let env = Array.init n_qc (fun i -> m land (1 lsl i) <> 0) in
+        if Truth.eval tt env <> rexpr_eval env e then ok := false;
+        if Truth.get_bit tt m <> rexpr_eval env e then ok := false
+      done;
+      !ok)
+
+let qc_permute_preserves_count =
+  QCheck.Test.make ~count:100 ~name:"permute preserves count_ones"
+    (QCheck.make (rexpr_gen 5 4))
+    (fun e ->
+      let tt = rexpr_truth 5 e in
+      let perm = [| 2; 0; 4; 1; 3 |] in
+      Truth.count_ones tt = Truth.count_ones (Truth.permute tt perm))
+
+(* expand places the function on the selected variables: checked
+   against direct bit extraction for random functions/placements. *)
+let qc_expand_semantics =
+  QCheck.Test.make ~count:200 ~name:"expand semantics"
+    QCheck.(make Gen.(pair (int_range 1 4) (int_bound 100_000)))
+    (fun (s, seed) ->
+      let st = Random.State.make [| seed; s |] in
+      let n = s + Random.State.int st 3 in
+      let f =
+        Truth.of_minterms s
+          (List.init (1 lsl s) (fun _ -> Random.State.int st (1 lsl s)))
+      in
+      let all = Array.init n (fun i -> i) in
+      for i = n - 1 downto 1 do
+        let j = Random.State.int st (i + 1) in
+        let t = all.(i) in
+        all.(i) <- all.(j);
+        all.(j) <- t
+      done;
+      let placement = Array.sub all 0 s in
+      Array.sort compare placement;
+      let big = Truth.expand f n placement in
+      let ok = ref true in
+      for m = 0 to (1 lsl n) - 1 do
+        let small = ref 0 in
+        Array.iteri
+          (fun i p -> if m land (1 lsl p) <> 0 then small := !small lor (1 lsl i))
+          placement;
+        if Truth.get_bit big m <> Truth.get_bit f !small then ok := false
+      done;
+      !ok)
+
+(* project inverts expand when the kept set covers the support. *)
+let qc_project_inverts_expand =
+  QCheck.Test.make ~count:200 ~name:"project inverts expand"
+    QCheck.(make Gen.(pair (int_range 1 5) (int_bound 100_000)))
+    (fun (s, seed) ->
+      let st = Random.State.make [| seed; s; 7 |] in
+      let n = s + Random.State.int st 3 in
+      let f =
+        Truth.of_minterms s
+          (List.init (1 lsl s) (fun _ -> Random.State.int st (1 lsl s)))
+      in
+      let kept = Array.init s (fun i -> i) in
+      Truth.equal f (Truth.project (Truth.expand f n kept) kept))
+
+let () =
+  Alcotest.run "truth"
+    [ ( "constructors",
+        [ Alcotest.test_case "const" `Quick test_const;
+          Alcotest.test_case "var balance" `Quick test_var_balance;
+          Alcotest.test_case "var bits" `Quick test_var_bits;
+          Alcotest.test_case "too many vars" `Quick test_too_many_vars ] );
+      ( "laws",
+        [ Alcotest.test_case "de morgan" `Quick test_de_morgan;
+          Alcotest.test_case "xor definition" `Quick test_xor_definition;
+          Alcotest.test_case "involution" `Quick test_involution;
+          Alcotest.test_case "arity mismatch" `Quick test_arity_mismatch ] );
+      ( "bits",
+        [ Alcotest.test_case "set/get" `Quick test_set_get;
+          Alcotest.test_case "of_minterms" `Quick test_of_minterms;
+          Alcotest.test_case "eval" `Quick test_eval ] );
+      ( "structure",
+        [ Alcotest.test_case "shannon cofactors" `Quick test_cofactor_shannon;
+          Alcotest.test_case "support" `Quick test_support;
+          Alcotest.test_case "permute" `Quick test_permute;
+          Alcotest.test_case "expand" `Quick test_expand;
+          Alcotest.test_case "hash stability" `Quick test_hash_stability ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest qc_truth_vs_eval;
+          QCheck_alcotest.to_alcotest qc_permute_preserves_count;
+          QCheck_alcotest.to_alcotest qc_expand_semantics;
+          QCheck_alcotest.to_alcotest qc_project_inverts_expand ] ) ]

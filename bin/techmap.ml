@@ -67,7 +67,34 @@ let mode_of_string = function
 (* map                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let run_map circuit lib_spec mode_s opt recover buffer out_file verilog_file show_path verify =
+let print_mapper_stats (run : Mapper.stats) (par : Parmap.par_stats option) =
+  Printf.printf "stats: label %.3fs, cover %.3fs, %d matches tried\n"
+    run.Mapper.label_seconds run.Mapper.cover_seconds run.Mapper.matches_tried;
+  if run.Mapper.cache_lookups > 0 then
+    Printf.printf
+      "stats: match cache %d lookups, %d hits, %d misses (%.1f%% hit rate)\n"
+      run.Mapper.cache_lookups run.Mapper.cache_hits run.Mapper.cache_misses
+      (100.0
+      *. float_of_int run.Mapper.cache_hits
+      /. float_of_int run.Mapper.cache_lookups)
+  else Printf.printf "stats: match cache disabled\n";
+  match par with
+  | None -> ()
+  | Some p ->
+    Printf.printf "stats: %d domains, %d levels (widest %d nodes)\n"
+      p.Parmap.domains p.Parmap.levels p.Parmap.widest_level;
+    let slowest = ref 0 in
+    Array.iteri
+      (fun i dt ->
+        if dt > p.Parmap.level_seconds.(!slowest) then slowest := i;
+        ignore dt)
+      p.Parmap.level_seconds;
+    Printf.printf "stats: slowest level %d at %.4fs of %.4fs total label time\n"
+      !slowest
+      p.Parmap.level_seconds.(!slowest)
+      (Array.fold_left ( +. ) 0.0 p.Parmap.level_seconds)
+
+let run_map circuit lib_spec mode_s opt recover buffer out_file verilog_file show_path verify jobs show_stats no_cache =
   let net = load_circuit circuit in
   let net =
     if opt then begin
@@ -85,21 +112,39 @@ let run_map circuit lib_spec mode_s opt recover buffer out_file verilog_file sho
   Printf.printf "library %s: %d gates, %d patterns\n" lib.Libraries.lib_name
     (List.length lib.Libraries.gates)
     (List.length lib.Libraries.patterns);
-  let t0 = Sys.time () in
-  let mode_name, nl, pattern_result =
+  let jobs =
+    match jobs with
+    | Some 0 -> Parmap.recommended_jobs ()
+    | Some j when j >= 1 -> j
+    | Some j -> failwith (Printf.sprintf "--jobs %d: want >= 1 (0 = auto)" j)
+    | None -> 1
+  in
+  let cache = not no_cache in
+  let t0 = Unix.gettimeofday () in
+  let mode_name, nl, pattern_result, par_stats =
     match mode with
     | Pattern_mode m ->
-      let result = Mapper.map m db sg in
-      (Mapper.mode_name m, result.Mapper.netlist, Some (m, result))
+      let result, par =
+        if jobs > 1 then
+          let result, par = Parmap.map ~jobs ~cache m db sg in
+          (result, Some par)
+        else (Mapper.map ~cache m db sg, None)
+      in
+      (Mapper.mode_name m, result.Mapper.netlist, Some (m, result), par)
     | Cut_mode ->
       let bdb = Dagmap_cutmap.Boolean_match.prepare lib in
       let r = Dagmap_cutmap.Cut_mapper.map bdb sg in
-      ("cut", r.Dagmap_cutmap.Cut_mapper.netlist, None)
+      ("cut", r.Dagmap_cutmap.Cut_mapper.netlist, None, None)
   in
-  let dt = Sys.time () -. t0 in
+  let dt = Unix.gettimeofday () -. t0 in
   Printf.printf "%s mapping: delay=%.2f area=%.0f gates=%d duplicated=%d (%.2fs)\n"
     mode_name (Netlist.delay nl) (Netlist.area nl)
     (Netlist.num_gates nl) (Netlist.duplication nl) dt;
+  if show_stats then begin
+    match pattern_result with
+    | Some (_, result) -> print_mapper_stats result.Mapper.run par_stats
+    | None -> Printf.printf "stats: only available for pattern modes\n"
+  end;
   let nl =
     match recover, pattern_result with
     | true, Some (m, result) ->
@@ -351,13 +396,33 @@ let map_cmd =
   let verify =
     Arg.(value & flag & info [ "verify" ] ~doc:"Random-simulation check.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Label with N domains in parallel (0 = one per core). Results \
+             are bit-identical to the sequential mapper.")
+  in
+  let show_stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print labeling statistics (timings, cache hit rate, domains).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Disable the structural match cache.")
+  in
   let term =
     Term.(
       ret
-        (const (fun c l m op r b o vf p v ->
-             wrap (fun () -> run_map c l m op r b o vf p v))
+        (const (fun c l m op r b o vf p v j st nc ->
+             wrap (fun () -> run_map c l m op r b o vf p v j st nc))
         $ circuit_arg $ lib_arg $ mode_arg $ opt $ recover $ buffer $ out_file
-        $ verilog_file $ show_path $ verify))
+        $ verilog_file $ show_path $ verify $ jobs $ show_stats $ no_cache))
   in
   Cmd.v (Cmd.info "map" ~doc:"Map a circuit onto a gate library.") term
 

@@ -19,6 +19,9 @@ type stats = {
   label_seconds : float;
   cover_seconds : float;
   matches_tried : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_lookups : int;
 }
 
 type result = {
@@ -48,7 +51,38 @@ let better arrival area pins (best_arrival, best_area, best_pins) =
       && (area < best_area -. 1e-9
           || (area < best_area +. 1e-9 && pins < best_pins)))
 
-let label ?(pi_arrival = fun _ -> 0.0) mode db g =
+(* The DP kernel: compute one gate node's optimal label and best
+   match. Reads only labels of fanin-cone nodes (strictly smaller
+   levels), writes only [labels.(node)] and [best.(node)] — which is
+   what lets Parmap run a whole topological level of these calls
+   concurrently. Returns the number of matches considered. *)
+let label_node ?cache cls db g ~fanouts ~levels ~labels ~best node =
+  let tried = ref 0 in
+  let best_cost = ref (infinity, infinity, max_int) in
+  Matchdb.for_each_node_match ?cache db cls g ~fanouts ~levels node (fun m ->
+      incr tried;
+      let arrival = match_arrival labels m in
+      let gate = Matcher.gate m in
+      let area = gate.Gate.area in
+      let pins = Gate.num_pins gate in
+      if better arrival area pins !best_cost then begin
+        best_cost := (arrival, area, pins);
+        best.(node) <- Some m
+      end);
+  (match best.(node) with
+   | Some _ ->
+     let arrival, _, _ = !best_cost in
+     labels.(node) <- arrival
+   | None ->
+     raise
+       (Unmappable
+          { node;
+            description =
+              Printf.sprintf "no %s match for subject node %d"
+                (Matcher.class_name cls) node }));
+  !tried
+
+let label ?(pi_arrival = fun _ -> 0.0) ?cache mode db g =
   let cls = mode_class mode in
   let n = Subject.num_nodes g in
   let fanouts = Subject.fanout_counts g in
@@ -60,28 +94,7 @@ let label ?(pi_arrival = fun _ -> 0.0) mode db g =
     match Subject.kind g node with
     | Spi -> labels.(node) <- pi_arrival node
     | Snand _ | Sinv _ ->
-      let best_cost = ref (infinity, infinity, max_int) in
-      Matchdb.for_each_node_match db cls g ~fanouts ~levels node (fun m ->
-          incr tried;
-          let arrival = match_arrival labels m in
-          let gate = Matcher.gate m in
-          let area = gate.Gate.area in
-          let pins = Gate.num_pins gate in
-          if better arrival area pins !best_cost then begin
-            best_cost := (arrival, area, pins);
-            best.(node) <- Some m
-          end);
-      (match best.(node) with
-       | Some _ ->
-         let arrival, _, _ = !best_cost in
-         labels.(node) <- arrival
-       | None ->
-         raise
-           (Unmappable
-              { node;
-                description =
-                  Printf.sprintf "no %s match for subject node %d"
-                    (Matcher.class_name cls) node }))
+      tried := !tried + label_node ?cache cls db g ~fanouts ~levels ~labels ~best node
   done;
   (labels, best, !tried)
 
@@ -146,18 +159,26 @@ let cover g (best : Matcher.mtch option array) =
   in
   { Netlist.source = g; instances; outputs }
 
-let map mode db g =
+let map ?(cache = true) mode db g =
+  let cache = if cache then Some (Matchdb.create_cache db) else None in
   let t0 = Sys.time () in
-  let labels, best, tried = label mode db g in
+  let labels, best, tried = label ?cache mode db g in
   let t1 = Sys.time () in
   let netlist = cover g best in
   let t2 = Sys.time () in
+  let ch, cm, cl =
+    match cache with
+    | None -> (0, 0, 0)
+    | Some c ->
+      (Matchdb.cache_hits c, Matchdb.cache_misses c, Matchdb.cache_lookups c)
+  in
   { netlist;
     labels;
     best;
     run =
       { label_seconds = t1 -. t0; cover_seconds = t2 -. t1;
-        matches_tried = tried } }
+        matches_tried = tried; cache_hits = ch; cache_misses = cm;
+        cache_lookups = cl } }
 
 let optimal_delay r =
   List.fold_left

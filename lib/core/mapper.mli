@@ -34,7 +34,10 @@ exception Unmappable of { node : int; description : string }
 type stats = {
   label_seconds : float;
   cover_seconds : float;
-  matches_tried : int;   (** successful matches enumerated while labeling *)
+  matches_tried : int;   (** successful matches considered while labeling *)
+  cache_hits : int;      (** match-cache hits (0 when caching is off) *)
+  cache_misses : int;
+  cache_lookups : int;   (** = hits + misses *)
 }
 
 type result = {
@@ -44,18 +47,46 @@ type result = {
   run : stats;
 }
 
-val map : mode -> Matchdb.t -> Subject.t -> result
+val map : ?cache:bool -> mode -> Matchdb.t -> Subject.t -> result
+(** [cache] (default [true]) enables the {!Matchdb} match cache for
+    the labeling pass. Caching never changes the result — cached and
+    uncached enumeration return identical match lists — it only skips
+    redundant backtracking searches on repeated local shapes. *)
 
 val label :
   ?pi_arrival:(int -> float) ->
+  ?cache:Matchdb.cache ->
   mode ->
   Matchdb.t ->
   Subject.t ->
   float array * Matcher.mtch option array * int
 (** Labeling pass only: optimal arrival and best match per node,
-    plus the count of matches enumerated. [pi_arrival] overrides the
+    plus the count of matches considered. [pi_arrival] overrides the
     arrival time of a PI node (default 0 everywhere) — the sequential
     extension uses it to inject latch-output arrivals. *)
+
+val label_node :
+  ?cache:Matchdb.cache ->
+  Matcher.match_class ->
+  Matchdb.t ->
+  Subject.t ->
+  fanouts:int array ->
+  levels:int array ->
+  labels:float array ->
+  best:Matcher.mtch option array ->
+  int ->
+  int
+(** The DP kernel for one NAND/INV node: fills [labels.(node)] and
+    [best.(node)] from the labels of its fanin cone and returns the
+    number of matches considered. Raises {!Unmappable} if the node
+    has no match. Reads only strictly-lower-level entries of
+    [labels], so calls within one topological level are independent —
+    {!Parmap} relies on exactly this. Do not call on a PI node. *)
+
+val cover : Subject.t -> Matcher.mtch option array -> Netlist.t
+(** Cover construction (paper §3.3) from a completed [best] array:
+    walk back from the outputs, instantiating each needed node's best
+    match and duplicating subject logic where matches overlap. *)
 
 val optimal_delay : result -> float
 (** Worst label over the subject outputs (equals

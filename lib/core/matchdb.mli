@@ -4,7 +4,19 @@
     two levels (root kind and child categories) and filtered by
     depth, so that at each subject node only plausibly-matching
     patterns are attempted. This keeps the labeling pass close to the
-    O(s p) bound of the paper with a small effective [p]. *)
+    O(s p) bound of the paper with a small effective [p].
+
+    On top of the buckets sits an optional {e match cache}: every
+    binding the matcher makes lands within [max pattern depth] edges
+    of the root, so a node's match set is determined by its
+    depth-bounded cone up to isomorphism. The cache keys each node by
+    a canonical signature of that cone (the structural analogue of
+    the NPN-canonical cut classes used by Boolean matchers) and
+    replays stored match sets through the isomorphism, skipping the
+    backtracking search for the repeated local shapes that dominate
+    ISCAS-like circuits. Cached and uncached enumeration return
+    identical match lists in identical order — the test suite asserts
+    this — so caching never changes mapping results. *)
 
 open Dagmap_genlib
 open Dagmap_subject
@@ -17,7 +29,27 @@ val library : t -> Libraries.t
 
 val num_patterns : t -> int
 
+type cache
+(** A match cache. Not thread-safe: a cache belongs to one domain at
+    a time (the parallel labeler creates one per worker). Creating a
+    cache is cheap; hit rate grows with the number of nodes looked up
+    through the same cache. *)
+
+val create_cache : t -> cache
+
+val cache_hits : cache -> int
+val cache_misses : cache -> int
+val cache_lookups : cache -> int
+(** Counters satisfy
+    [cache_lookups c = cache_hits c + cache_misses c]; PI nodes are
+    not counted (they have no matches). A cache that keeps missing
+    (shape-diverse subjects, e.g. seeded random logic) retires
+    itself after a probation period — later lookups bypass it and
+    are not counted — so caching never costs more than a bounded
+    constant on cache-hostile inputs. *)
+
 val for_each_node_match :
+  ?cache:cache ->
   t ->
   Matcher.match_class ->
   Subject.t ->
@@ -27,9 +59,12 @@ val for_each_node_match :
   (Matcher.mtch -> unit) ->
   unit
 (** Enumerate every match of every library pattern rooted at the
-    given subject node. [levels] must be [Subject.levels g]. *)
+    given subject node. [levels] must be [Subject.levels g]. The
+    callback must not re-enter the same [cache] (the mapper's
+    callbacks never do). *)
 
 val node_matches :
+  ?cache:cache ->
   t ->
   Matcher.match_class ->
   Subject.t ->

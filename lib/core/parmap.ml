@@ -1,0 +1,230 @@
+open Dagmap_subject
+
+(* Level-parallel labeling.
+
+   The labeling DP is a topological-order recurrence, but a node's
+   label depends only on nodes at strictly smaller levels
+   (Subject.levels): within one level every Mapper.label_node call is
+   independent. So we sweep the levels in order and fan each level's
+   nodes across a pool of domains. Determinism comes for free from
+   the dependency structure, not from the schedule: each node's label
+   is a pure function of lower-level labels, every node is written by
+   exactly one worker, and the level barrier makes lower levels
+   visible before anyone reads them — so labels and best matches are
+   bit-identical to the sequential pass no matter how the
+   work-stealing interleaves.
+
+   Match caches are per-worker (Matchdb.cache is not thread-safe);
+   cached and uncached lookups return identical match lists, so the
+   caches do not perturb determinism either — only the hit/miss split
+   across workers varies run to run. *)
+
+type par_stats = {
+  domains : int;
+  levels : int;
+  widest_level : int;
+  level_seconds : float array;
+}
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+(* ------------------------------------------------------------------ *)
+(* Persistent domain pool                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Deep circuits have hundreds of levels; spawning domains per level
+   would drown the matching work in spawn latency. The pool keeps
+   [size] worker domains alive for the whole sweep and releases each
+   level through a generation counter + condition variable; the
+   caller doubles as the last worker. Tasks must not raise (the
+   labeler traps exceptions into an Atomic and re-raises after the
+   barrier). *)
+type pool = {
+  size : int;                        (* worker domains, caller excluded *)
+  mutex : Mutex.t;
+  start : Condition.t;
+  finished : Condition.t;
+  mutable task : (int -> unit) option;
+  mutable generation : int;
+  mutable active : int;
+  mutable shutdown : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let worker pool w =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while (not pool.shutdown) && pool.generation = !seen do
+      Condition.wait pool.start pool.mutex
+    done;
+    if pool.shutdown then Mutex.unlock pool.mutex
+    else begin
+      seen := pool.generation;
+      let task = Option.get pool.task in
+      Mutex.unlock pool.mutex;
+      task w;
+      Mutex.lock pool.mutex;
+      pool.active <- pool.active - 1;
+      if pool.active = 0 then Condition.broadcast pool.finished;
+      Mutex.unlock pool.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let make_pool size =
+  let pool =
+    { size; mutex = Mutex.create (); start = Condition.create ();
+      finished = Condition.create (); task = None; generation = 0;
+      active = 0; shutdown = false; domains = [] }
+  in
+  pool.domains <-
+    List.init size (fun w -> Domain.spawn (fun () -> worker pool w));
+  pool
+
+(* Run [task w] on every worker (w in 0..size-1) and on the caller
+   (w = size); returns when all have finished. *)
+let run_pool pool task =
+  Mutex.lock pool.mutex;
+  pool.task <- Some task;
+  pool.generation <- pool.generation + 1;
+  pool.active <- pool.size;
+  Condition.broadcast pool.start;
+  Mutex.unlock pool.mutex;
+  task pool.size;
+  Mutex.lock pool.mutex;
+  while pool.active > 0 do
+    Condition.wait pool.finished pool.mutex
+  done;
+  Mutex.unlock pool.mutex
+
+let shutdown_pool pool =
+  Mutex.lock pool.mutex;
+  pool.shutdown <- true;
+  Condition.broadcast pool.start;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.domains
+
+(* ------------------------------------------------------------------ *)
+(* Level-parallel labeling                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Below this many nodes a level is labeled on the calling domain:
+   the barrier costs more than the matching it would parallelize. *)
+let fanout_threshold jobs = 4 * jobs
+
+let label ?jobs ?(cache = true) ?(pi_arrival = fun _ -> 0.0) mode db g =
+  let jobs =
+    match jobs with
+    | None -> recommended_jobs ()
+    | Some j -> max 1 j
+  in
+  let cls = Mapper.mode_class mode in
+  let n = Subject.num_nodes g in
+  let fanouts = Subject.fanout_counts g in
+  let levels = Subject.levels g in
+  let by_level = Subject.by_level g in
+  let labels = Array.make n 0.0 in
+  let best : Matcher.mtch option array = Array.make n None in
+  let caches =
+    Array.init jobs (fun _ ->
+        if cache then Some (Matchdb.create_cache db) else None)
+  in
+  (* Per-worker counters; the total is deterministic (a sum over
+     nodes of a per-node count) even though the split is not. *)
+  let tried = Array.make jobs 0 in
+  let level_seconds = Array.make (Array.length by_level) 0.0 in
+  let failure : exn option Atomic.t = Atomic.make None in
+  let process worker node =
+    match Subject.kind g node with
+    | Spi -> labels.(node) <- pi_arrival node
+    | Snand _ | Sinv _ ->
+      tried.(worker) <-
+        tried.(worker)
+        + Mapper.label_node ?cache:caches.(worker) cls db g ~fanouts ~levels
+            ~labels ~best node
+  in
+  let pool = if jobs > 1 then Some (make_pool (jobs - 1)) else None in
+  Fun.protect
+    ~finally:(fun () -> Option.iter shutdown_pool pool)
+    (fun () ->
+      Array.iteri
+        (fun li nodes ->
+          let t0 = Unix.gettimeofday () in
+          let len = Array.length nodes in
+          (match pool with
+           | Some pool when len >= fanout_threshold jobs ->
+             (* Work-stealing over fixed-size chunks: an atomic cursor
+                hands out index ranges, so a worker stuck on an
+                expensive node (a deep cone in a rich library) does
+                not stall the rest of the level. *)
+             let cursor = Atomic.make 0 in
+             let chunk = max 1 (len / (jobs * 8)) in
+             run_pool pool (fun w ->
+                 try
+                   let rec loop () =
+                     let start = Atomic.fetch_and_add cursor chunk in
+                     if start < len then begin
+                       let stop = min len (start + chunk) - 1 in
+                       for i = start to stop do
+                         process w nodes.(i)
+                       done;
+                       loop ()
+                     end
+                   in
+                   loop ()
+                 with e ->
+                   ignore (Atomic.compare_and_set failure None (Some e)));
+             (match Atomic.get failure with
+              | Some e -> raise e
+              | None -> ())
+           | _ ->
+             (* The calling domain reuses the last worker slot's cache
+                so small levels still feed the same cache as large
+                ones. *)
+             Array.iter (process (jobs - 1)) nodes);
+          level_seconds.(li) <- Unix.gettimeofday () -. t0)
+        by_level);
+  let tried = Array.fold_left ( + ) 0 tried in
+  let hits, misses, lookups =
+    Array.fold_left
+      (fun (h, m, l) c ->
+        match c with
+        | None -> (h, m, l)
+        | Some c ->
+          ( h + Matchdb.cache_hits c,
+            m + Matchdb.cache_misses c,
+            l + Matchdb.cache_lookups c ))
+      (0, 0, 0) caches
+  in
+  let widest_level =
+    Array.fold_left (fun acc ns -> max acc (Array.length ns)) 0 by_level
+  in
+  let stats =
+    { domains = jobs;
+      levels = Array.length by_level;
+      widest_level;
+      level_seconds }
+  in
+  (labels, best, (tried, hits, misses, lookups), stats)
+
+let map ?jobs ?cache mode db g =
+  let t0 = Unix.gettimeofday () in
+  let labels, best, (tried, hits, misses, lookups), par =
+    label ?jobs ?cache mode db g
+  in
+  let t1 = Unix.gettimeofday () in
+  let netlist = Mapper.cover g best in
+  let t2 = Unix.gettimeofday () in
+  ( { Mapper.netlist;
+      labels;
+      best;
+      run =
+        { Mapper.label_seconds = t1 -. t0;
+          cover_seconds = t2 -. t1;
+          matches_tried = tried;
+          cache_hits = hits;
+          cache_misses = misses;
+          cache_lookups = lookups } },
+    par )

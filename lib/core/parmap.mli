@@ -1,0 +1,58 @@
+(** Multicore labeling: the paper's DP, level-parallel on OCaml 5
+    domains.
+
+    A node's optimal label depends only on nodes at strictly smaller
+    {!Subject.levels}, so each topological level is an independent
+    front: the sweep runs level by level, fanning the nodes of a
+    level across a domain pool with work-stealing chunks and a
+    spawn/join barrier between levels. Labels, best matches, netlist
+    and delay are {e bit-identical} to the sequential {!Mapper} —
+    each label is a pure function of lower-level labels and every
+    node is written by exactly one worker — which the test suite
+    asserts for 1, 2 and 4 domains.
+
+    Each worker owns a private {!Matchdb.cache}; aggregate hit/miss
+    counters are summed into the returned {!Mapper.stats} (the split
+    between workers depends on the stealing schedule, the totals'
+    invariants do not). *)
+
+open Dagmap_subject
+
+type par_stats = {
+  domains : int;            (** domains actually used (>= 1) *)
+  levels : int;             (** topological levels swept *)
+  widest_level : int;       (** nodes in the widest level *)
+  level_seconds : float array;  (** wall-clock per level *)
+}
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val label :
+  ?jobs:int ->
+  ?cache:bool ->
+  ?pi_arrival:(int -> float) ->
+  Mapper.mode ->
+  Matchdb.t ->
+  Subject.t ->
+  float array
+  * Matcher.mtch option array
+  * (int * int * int * int)
+  * par_stats
+(** Parallel labeling pass. [jobs] defaults to {!recommended_jobs};
+    [cache] (default true) enables per-worker match caches. The int
+    quadruple is (matches tried, cache hits, cache misses, cache
+    lookups). Raises {!Mapper.Unmappable} exactly when the
+    sequential pass would. *)
+
+val map :
+  ?jobs:int ->
+  ?cache:bool ->
+  Mapper.mode ->
+  Matchdb.t ->
+  Subject.t ->
+  Mapper.result * par_stats
+(** Parallel labeling + (sequential, output-driven) cover
+    construction. The {!Mapper.result} is bit-identical to
+    [Mapper.map mode db g]; timings in [run] are wall-clock rather
+    than CPU seconds. *)

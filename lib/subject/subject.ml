@@ -293,6 +293,20 @@ let depth g =
   let lv = levels g in
   List.fold_left (fun acc o -> max acc lv.(o.out_node)) 0 g.outputs
 
+let by_level g =
+  let lv = levels g in
+  let maxl = Array.fold_left max 0 lv in
+  let counts = Array.make (maxl + 1) 0 in
+  Array.iter (fun l -> counts.(l) <- counts.(l) + 1) lv;
+  let groups = Array.init (maxl + 1) (fun l -> Array.make counts.(l) 0) in
+  let fill = Array.make (maxl + 1) 0 in
+  Array.iteri
+    (fun node l ->
+      groups.(l).(fill.(l)) <- node;
+      fill.(l) <- fill.(l) + 1)
+    lv;
+  groups
+
 let pi_ids g =
   let ids = ref [] in
   Array.iteri (fun i k -> if k = Spi then ids := i :: !ids) g.kinds;

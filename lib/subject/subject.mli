@@ -58,6 +58,13 @@ val depth : t -> int
 
 val levels : t -> int array
 
+val by_level : t -> int array array
+(** Node ids grouped by level, ascending node id within each group;
+    [by_level g] has [max-level + 1] groups and every node appears
+    exactly once. A node's fanins always live at strictly
+    smaller levels, so the groups are the parallelization fronts of
+    any topological-order DP (see {!Dagmap_core.Parmap}). *)
+
 val pi_ids : t -> int list
 (** Subject ids of the PIs, in order. *)
 

@@ -1,0 +1,237 @@
+(* The structural match cache: counter consistency, cache-on vs
+   cache-off observational equality, and the differential properties
+   (tree/dag/dag-extended dominance) under both cache settings. *)
+
+open Dagmap_genlib
+open Dagmap_subject
+open Dagmap_core
+open Dagmap_circuits
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let classes = [ Matcher.Exact; Matcher.Standard; Matcher.Extended ]
+
+(* A row of structurally identical (but unshared) full-adder-like
+   cells over distinct PIs: the raw builders prevent structural
+   hashing from merging them, so every cell is a fresh isomorphic
+   cone — the cache's best case. *)
+let cell_row n_cells =
+  let bld = Subject.Builder.create () in
+  List.iteri
+    (fun i () ->
+      let a = Subject.Builder.pi bld (Printf.sprintf "a%d" i) in
+      let b = Subject.Builder.pi bld (Printf.sprintf "b%d" i) in
+      let c = Subject.Builder.pi bld (Printf.sprintf "c%d" i) in
+      let ab = Subject.Builder.raw_nand bld a b in
+      let bc = Subject.Builder.raw_nand bld b c in
+      let s = Subject.Builder.raw_nand bld ab bc in
+      let t = Subject.Builder.raw_inv bld s in
+      let u = Subject.Builder.raw_nand bld s t in
+      Subject.Builder.output bld (Printf.sprintf "o%d" i) u)
+    (List.init n_cells (fun _ -> ()));
+  Subject.Builder.finish bld
+
+let same_match (m1 : Matcher.mtch) (m2 : Matcher.mtch) =
+  m1.Matcher.pattern == m2.Matcher.pattern
+  && m1.Matcher.pins = m2.Matcher.pins
+  && m1.Matcher.covered = m2.Matcher.covered
+
+let same_match_list l1 l2 =
+  List.length l1 = List.length l2 && List.for_all2 same_match l1 l2
+
+(* Cache-on and cache-off enumeration must return identical match
+   lists, in identical order, at every node, for every class. *)
+let test_cache_transparent () =
+  let graphs =
+    [ ("cells", cell_row 6);
+      ("adder8", Subject.of_network (Generators.ripple_adder 8));
+      ("ks8", Subject.of_network (Generators.kogge_stone_adder 8)) ]
+  in
+  List.iter
+    (fun lib_name ->
+      let db = Matchdb.prepare (Option.get (Libraries.by_name lib_name)) in
+      List.iter
+        (fun (gname, g) ->
+          let fanouts = Subject.fanout_counts g in
+          let levels = Subject.levels g in
+          List.iter
+            (fun cls ->
+              let cache = Matchdb.create_cache db in
+              for node = 0 to Subject.num_nodes g - 1 do
+                let plain =
+                  Matchdb.node_matches db cls g ~fanouts ~levels node
+                in
+                let cached =
+                  Matchdb.node_matches ~cache db cls g ~fanouts ~levels node
+                in
+                check tbool
+                  (Printf.sprintf "%s/%s/%s node %d: cached = uncached"
+                     lib_name gname (Matcher.class_name cls) node)
+                  true
+                  (same_match_list plain cached)
+              done)
+            classes)
+        graphs)
+    [ "minimal"; "44-1"; "lib2" ]
+
+(* Looking every node up twice through one cache: second pass must be
+   all hits, and the counters must stay consistent. *)
+let test_counters () =
+  let g = cell_row 8 in
+  let db = Matchdb.prepare (Libraries.lib2_like ()) in
+  let fanouts = Subject.fanout_counts g in
+  let levels = Subject.levels g in
+  let cache = Matchdb.create_cache db in
+  let gate_nodes = ref 0 in
+  for node = 0 to Subject.num_nodes g - 1 do
+    match Subject.kind g node with
+    | Subject.Spi -> ()
+    | Subject.Snand _ | Subject.Sinv _ ->
+      incr gate_nodes;
+      ignore (Matchdb.node_matches ~cache db Matcher.Standard g ~fanouts ~levels node)
+  done;
+  let h1 = Matchdb.cache_hits cache in
+  check tint "lookups = gate nodes" !gate_nodes (Matchdb.cache_lookups cache);
+  check tint "hits + misses = lookups"
+    (Matchdb.cache_lookups cache)
+    (Matchdb.cache_hits cache + Matchdb.cache_misses cache);
+  check tbool "isomorphic cells hit" true (h1 > 0);
+  check tbool "first cell misses" true (Matchdb.cache_misses cache > 0);
+  (* Second pass: every cone is already cached. *)
+  for node = 0 to Subject.num_nodes g - 1 do
+    match Subject.kind g node with
+    | Subject.Spi -> ()
+    | Subject.Snand _ | Subject.Sinv _ ->
+      ignore (Matchdb.node_matches ~cache db Matcher.Standard g ~fanouts ~levels node)
+  done;
+  check tint "second pass all hits"
+    (h1 + !gate_nodes)
+    (Matchdb.cache_hits cache);
+  check tint "hits + misses = lookups (after)"
+    (Matchdb.cache_lookups cache)
+    (Matchdb.cache_hits cache + Matchdb.cache_misses cache);
+  (* PI lookups are free and uncounted. *)
+  let before = Matchdb.cache_lookups cache in
+  List.iter
+    (fun pi ->
+      check tint "pi has no matches" 0
+        (List.length
+           (Matchdb.node_matches ~cache db Matcher.Standard g ~fanouts ~levels pi)))
+    (Subject.pi_ids g);
+  check tint "pi lookups uncounted" before (Matchdb.cache_lookups cache)
+
+(* Full-mapper agreement: cached and uncached runs produce the same
+   labels, delay and netlist size; stats record the cache activity. *)
+let test_mapper_cache_identical () =
+  List.iter
+    (fun (cname, net) ->
+      let g = Subject.of_network net in
+      let db = Matchdb.prepare (Libraries.lib2_like ()) in
+      List.iter
+        (fun mode ->
+          let r_off = Mapper.map ~cache:false mode db g in
+          let r_on = Mapper.map mode db g in
+          check tbool
+            (Printf.sprintf "%s/%s labels identical" cname (Mapper.mode_name mode))
+            true
+            (r_off.Mapper.labels = r_on.Mapper.labels);
+          check (Alcotest.float 0.0)
+            (Printf.sprintf "%s/%s delay identical" cname (Mapper.mode_name mode))
+            (Netlist.delay r_off.Mapper.netlist)
+            (Netlist.delay r_on.Mapper.netlist);
+          check tint
+            (Printf.sprintf "%s/%s gates identical" cname (Mapper.mode_name mode))
+            (Netlist.num_gates r_off.Mapper.netlist)
+            (Netlist.num_gates r_on.Mapper.netlist);
+          check tint
+            (Printf.sprintf "%s/%s matches tried identical" cname
+               (Mapper.mode_name mode))
+            r_off.Mapper.run.Mapper.matches_tried
+            r_on.Mapper.run.Mapper.matches_tried;
+          check tint "cache-off counts nothing" 0
+            r_off.Mapper.run.Mapper.cache_lookups;
+          check tint
+            (Printf.sprintf "%s/%s stats consistent" cname (Mapper.mode_name mode))
+            r_on.Mapper.run.Mapper.cache_lookups
+            (r_on.Mapper.run.Mapper.cache_hits
+            + r_on.Mapper.run.Mapper.cache_misses))
+        [ Mapper.Tree; Mapper.Dag; Mapper.Dag_extended ])
+    [ ("mult4", Generators.array_multiplier 4);
+      ("cla16", Generators.carry_lookahead_adder 16);
+      ("rand", Generators.random_dag ~seed:7 ~inputs:10 ~outputs:5 ~nodes:150 ()) ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential properties: tree vs dag vs dag-extended, cache x2     *)
+(* ------------------------------------------------------------------ *)
+
+(* Standard matches include exact matches, and extended matches
+   include standard matches, so the optimal delays must be ordered
+   dag <= tree and dag-extended <= dag — under either cache setting,
+   whose delays must also agree with each other. *)
+let qc_differential =
+  QCheck.Test.make ~count:25 ~name:"differential: delay dominance, cached+uncached"
+    QCheck.(make ~print:string_of_int Gen.(int_bound 10_000))
+    (fun seed ->
+      let net = Generators.random_dag ~seed ~inputs:8 ~outputs:4 ~nodes:60 () in
+      let g = Subject.of_network net in
+      let db = Matchdb.prepare (Libraries.lib2_like ()) in
+      let delay ~cache mode =
+        Netlist.delay (Mapper.map ~cache mode db g).Mapper.netlist
+      in
+      let check_config cache =
+        let dt = delay ~cache Mapper.Tree in
+        let dd = delay ~cache Mapper.Dag in
+        let de = delay ~cache Mapper.Dag_extended in
+        dd <= dt +. 1e-9 && de <= dd +. 1e-9
+      in
+      check_config true && check_config false
+      && delay ~cache:true Mapper.Dag = delay ~cache:false Mapper.Dag)
+
+(* Paper footnote 3: extended matches bring no mapping-quality gain
+   over standard matches. That is an empirical tendency, not a
+   theorem — Figure 1 of the paper is a counterexample shape, and
+   cla16/lib2 in this repo is another (extended beats dag there) —
+   so equality is pinned as a regression on circuits where it is
+   known to hold. *)
+let test_extended_equals_dag_footnote3 () =
+  List.iter
+    (fun (cname, net) ->
+      let g = Subject.of_network net in
+      List.iter
+        (fun lib_name ->
+          let db = Matchdb.prepare (Option.get (Libraries.by_name lib_name)) in
+          List.iter
+            (fun cache ->
+              let dd =
+                Netlist.delay (Mapper.map ~cache Mapper.Dag db g).Mapper.netlist
+              in
+              let de =
+                Netlist.delay
+                  (Mapper.map ~cache Mapper.Dag_extended db g).Mapper.netlist
+              in
+              check (Alcotest.float 1e-9)
+                (Printf.sprintf "%s/%s cache=%b: extended = dag" cname lib_name
+                   cache)
+                dd de)
+            [ true; false ])
+        [ "minimal"; "44-1"; "lib2" ])
+    [ ("adder8", Generators.ripple_adder 8);
+      ("ks16", Generators.kogge_stone_adder 16);
+      ("mult4", Generators.array_multiplier 4);
+      ("parity16", Generators.parity 16) ]
+
+let () =
+  Alcotest.run "matchcache"
+    [ ( "transparency",
+        [ Alcotest.test_case "cached = uncached lists" `Quick
+            test_cache_transparent;
+          Alcotest.test_case "mapper agreement" `Quick
+            test_mapper_cache_identical ] );
+      ( "counters",
+        [ Alcotest.test_case "hit/miss bookkeeping" `Quick test_counters ] );
+      ( "differential",
+        [ QCheck_alcotest.to_alcotest qc_differential;
+          Alcotest.test_case "footnote 3: extended = dag" `Quick
+            test_extended_equals_dag_footnote3 ] ) ]

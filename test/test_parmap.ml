@@ -1,0 +1,208 @@
+(* Parallel labeling: bit-identical results across domain counts,
+   equivalence of the mapped netlist, stats sanity, and exception
+   propagation out of the worker pool. *)
+
+open Dagmap_genlib
+open Dagmap_subject
+open Dagmap_core
+open Dagmap_sim
+open Dagmap_circuits
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let modes = [ Mapper.Tree; Mapper.Dag; Mapper.Dag_extended ]
+let jobs_list = [ 1; 2; 4 ]
+
+let libs () =
+  [ Libraries.minimal (); Libraries.lib44_1_like (); Libraries.lib2_like () ]
+
+(* Label arrays, best-match arrays and the covered netlist must be
+   bit-identical to the sequential mapper for every domain count. *)
+let same_best (b1 : Matcher.mtch option array) (b2 : Matcher.mtch option array) =
+  Array.length b1 = Array.length b2
+  && Array.for_all2
+       (fun m1 m2 ->
+         match m1, m2 with
+         | None, None -> true
+         | Some m1, Some m2 ->
+           m1.Matcher.pattern == m2.Matcher.pattern
+           && m1.Matcher.pins = m2.Matcher.pins
+           && m1.Matcher.covered = m2.Matcher.covered
+         | _ -> false)
+       b1 b2
+
+let check_identical name g db mode jobs =
+  let seq = Mapper.map mode db g in
+  let par, stats = Parmap.map ~jobs mode db g in
+  check tbool
+    (Printf.sprintf "%s/%s jobs=%d labels" name (Mapper.mode_name mode) jobs)
+    true
+    (seq.Mapper.labels = par.Mapper.labels);
+  check tbool
+    (Printf.sprintf "%s/%s jobs=%d best" name (Mapper.mode_name mode) jobs)
+    true
+    (same_best seq.Mapper.best par.Mapper.best);
+  check (Alcotest.float 0.0)
+    (Printf.sprintf "%s/%s jobs=%d delay" name (Mapper.mode_name mode) jobs)
+    (Mapper.optimal_delay seq) (Mapper.optimal_delay par);
+  check tint
+    (Printf.sprintf "%s/%s jobs=%d gates" name (Mapper.mode_name mode) jobs)
+    (Netlist.num_gates seq.Mapper.netlist)
+    (Netlist.num_gates par.Mapper.netlist);
+  check tint
+    (Printf.sprintf "%s/%s jobs=%d matches tried" name (Mapper.mode_name mode)
+       jobs)
+    seq.Mapper.run.Mapper.matches_tried par.Mapper.run.Mapper.matches_tried;
+  check tint
+    (Printf.sprintf "%s/%s jobs=%d domains" name (Mapper.mode_name mode) jobs)
+    jobs stats.Parmap.domains;
+  par
+
+let test_fixed_circuits () =
+  List.iter
+    (fun (cname, net) ->
+      let g = Subject.of_network net in
+      List.iter
+        (fun lib ->
+          let db = Matchdb.prepare lib in
+          List.iter
+            (fun mode ->
+              List.iter
+                (fun jobs ->
+                  ignore
+                    (check_identical
+                       (Printf.sprintf "%s/%s" cname lib.Libraries.lib_name)
+                       g db mode jobs))
+                jobs_list)
+            modes)
+        (libs ()))
+    [ ("adder16", Generators.ripple_adder 16);
+      ("ks16", Generators.kogge_stone_adder 16);
+      ("cla16", Generators.carry_lookahead_adder 16);
+      ("mult4", Generators.array_multiplier 4) ]
+
+(* QCheck: on random circuits, every domain count reproduces the
+   sequential result exactly, and the mapped netlist simulates
+   identically to the subject graph. *)
+let qc_parallel_identical =
+  QCheck.Test.make ~count:15 ~name:"parallel = sequential on random circuits"
+    QCheck.(make ~print:string_of_int Gen.(int_bound 10_000))
+    (fun seed ->
+      let net =
+        Generators.random_dag ~seed ~inputs:8 ~outputs:4 ~nodes:70 ()
+      in
+      let g = Subject.of_network net in
+      let n_inputs = List.length (Subject.pi_ids g) in
+      let db = Matchdb.prepare (Libraries.lib2_like ()) in
+      List.for_all
+        (fun mode ->
+          let seq = Mapper.map mode db g in
+          List.for_all
+            (fun jobs ->
+              let par, _ = Parmap.map ~jobs mode db g in
+              seq.Mapper.labels = par.Mapper.labels
+              && Mapper.optimal_delay seq = Mapper.optimal_delay par
+              && Equiv.is_equivalent
+                   (Equiv.compare_sims ~rounds:4 ~n_inputs
+                      (fun words -> Simulate.subject g words)
+                      (fun words -> Simulate.netlist par.Mapper.netlist words)))
+            jobs_list)
+        modes)
+
+(* Cache-disabled parallel runs must agree too (caching and
+   parallelism are independent knobs). *)
+let test_no_cache_parallel () =
+  let g = Subject.of_network (Generators.kogge_stone_adder 16) in
+  let db = Matchdb.prepare (Libraries.lib2_like ()) in
+  let seq = Mapper.map ~cache:false Mapper.Dag db g in
+  List.iter
+    (fun jobs ->
+      let par, _ = Parmap.map ~jobs ~cache:false Mapper.Dag db g in
+      check tbool
+        (Printf.sprintf "no-cache jobs=%d labels" jobs)
+        true
+        (seq.Mapper.labels = par.Mapper.labels);
+      check tint
+        (Printf.sprintf "no-cache jobs=%d lookups" jobs)
+        0 par.Mapper.run.Mapper.cache_lookups)
+    jobs_list
+
+let test_par_stats () =
+  let g = Subject.of_network (Generators.array_multiplier 6) in
+  let db = Matchdb.prepare (Libraries.lib2_like ()) in
+  let _, stats = Parmap.map ~jobs:2 Mapper.Dag db g in
+  let levels = Subject.levels g in
+  let depth = Array.fold_left max 0 levels in
+  check tint "levels = depth + 1" (depth + 1) stats.Parmap.levels;
+  check tint "one timing per level" stats.Parmap.levels
+    (Array.length stats.Parmap.level_seconds);
+  check tbool "timings nonnegative" true
+    (Array.for_all (fun s -> s >= 0.0) stats.Parmap.level_seconds);
+  let by_level = Subject.by_level g in
+  let widest = Array.fold_left (fun w l -> max w (Array.length l)) 0 by_level in
+  check tint "widest level" widest stats.Parmap.widest_level;
+  check tbool "recommended_jobs >= 1" true (Parmap.recommended_jobs () >= 1)
+
+(* pi_arrival flows through the parallel labeler unchanged. *)
+let test_pi_arrival () =
+  let g = Subject.of_network (Generators.carry_lookahead_adder 8) in
+  let db = Matchdb.prepare (Libraries.lib44_1_like ()) in
+  let arr pi = float_of_int (pi mod 5) *. 0.7 in
+  let seq_labels, seq_best, _ = Mapper.label ~pi_arrival:arr Mapper.Dag db g in
+  List.iter
+    (fun jobs ->
+      let labels, best, _, _ =
+        Parmap.label ~jobs ~pi_arrival:arr Mapper.Dag db g
+      in
+      check tbool
+        (Printf.sprintf "pi_arrival jobs=%d labels" jobs)
+        true (seq_labels = labels);
+      check tbool
+        (Printf.sprintf "pi_arrival jobs=%d best" jobs)
+        true
+        (same_best seq_best best))
+    jobs_list
+
+(* An Unmappable raised inside a worker domain must surface on the
+   calling domain. The level is made wide enough (16 NANDs) that a
+   2-domain run really fans it out rather than staying sequential. *)
+let test_unmappable_propagates () =
+  let inv_only =
+    Libraries.make "invonly"
+      (Genlib_parser.parse_string
+         "GATE inv 1 O=!a; PIN a INV 1 999 1.0 0.1 1.0 0.1")
+  in
+  let bld = Subject.Builder.create () in
+  for i = 0 to 15 do
+    let a = Subject.Builder.pi bld (Printf.sprintf "a%d" i) in
+    let b = Subject.Builder.pi bld (Printf.sprintf "b%d" i) in
+    let n = Subject.Builder.raw_nand bld a b in
+    Subject.Builder.output bld (Printf.sprintf "o%d" i) n
+  done;
+  let g = Subject.Builder.finish bld in
+  let db = Matchdb.prepare inv_only in
+  List.iter
+    (fun jobs ->
+      check tbool
+        (Printf.sprintf "unmappable raises, jobs=%d" jobs)
+        true
+        (match Parmap.label ~jobs Mapper.Dag db g with
+         | _ -> false
+         | exception Mapper.Unmappable _ -> true))
+    [ 1; 2; 4 ]
+
+let () =
+  Alcotest.run "parmap"
+    [ ( "identical",
+        [ Alcotest.test_case "fixed circuits, jobs 1/2/4" `Quick
+            test_fixed_circuits;
+          QCheck_alcotest.to_alcotest qc_parallel_identical;
+          Alcotest.test_case "cache off" `Quick test_no_cache_parallel ] );
+      ( "stats",
+        [ Alcotest.test_case "par_stats shape" `Quick test_par_stats;
+          Alcotest.test_case "pi_arrival passthrough" `Quick test_pi_arrival ] );
+      ( "errors",
+        [ Alcotest.test_case "Unmappable propagates" `Quick
+            test_unmappable_propagates ] ) ]

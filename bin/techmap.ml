@@ -10,6 +10,7 @@ open Dagmap_flowmap
 open Dagmap_sim
 open Dagmap_circuits
 open Dagmap_retime
+open Dagmap_super
 
 let named_circuits () =
   [ ("c432", Iscas_like.c432_like);
@@ -67,17 +68,26 @@ let mode_of_string = function
 (* map                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let print_mapper_stats (run : Mapper.stats) (par : Parmap.par_stats option) =
+let print_mapper_stats ~cache_enabled (run : Mapper.stats)
+    (par : Parmap.par_stats option) =
   Printf.printf "stats: label %.3fs, cover %.3fs, %d matches tried\n"
     run.Mapper.label_seconds run.Mapper.cover_seconds run.Mapper.matches_tried;
-  if run.Mapper.cache_lookups > 0 then
+  if run.Mapper.super_matches_tried > 0 || run.Mapper.super_gates_used > 0 then
     Printf.printf
-      "stats: match cache %d lookups, %d hits, %d misses (%.1f%% hit rate)\n"
-      run.Mapper.cache_lookups run.Mapper.cache_hits run.Mapper.cache_misses
-      (100.0
-      *. float_of_int run.Mapper.cache_hits
-      /. float_of_int run.Mapper.cache_lookups)
-  else Printf.printf "stats: match cache disabled\n";
+      "stats: supergates: %d matches tried, %d instances in cover\n"
+      run.Mapper.super_matches_tried run.Mapper.super_gates_used;
+  (* With --no-cache there are no counters to report; print nothing
+     rather than a row of zeros. *)
+  if cache_enabled then begin
+    if run.Mapper.cache_lookups > 0 then
+      Printf.printf
+        "stats: match cache %d lookups, %d hits, %d misses (%.1f%% hit rate)\n"
+        run.Mapper.cache_lookups run.Mapper.cache_hits run.Mapper.cache_misses
+        (100.0
+        *. float_of_int run.Mapper.cache_hits
+        /. float_of_int run.Mapper.cache_lookups)
+    else Printf.printf "stats: match cache idle (no lookups recorded)\n"
+  end;
   match par with
   | None -> ()
   | Some p ->
@@ -94,7 +104,7 @@ let print_mapper_stats (run : Mapper.stats) (par : Parmap.par_stats option) =
       p.Parmap.level_seconds.(!slowest)
       (Array.fold_left ( +. ) 0.0 p.Parmap.level_seconds)
 
-let run_map circuit lib_spec mode_s opt recover buffer out_file verilog_file show_path verify jobs show_stats no_cache =
+let run_map circuit lib_spec super_file mode_s opt recover buffer out_file verilog_file show_path verify jobs show_stats no_cache =
   let net = load_circuit circuit in
   let net =
     if opt then begin
@@ -105,6 +115,18 @@ let run_map circuit lib_spec mode_s opt recover buffer out_file verilog_file sho
     else net
   in
   let lib = load_library lib_spec in
+  let lib =
+    match super_file with
+    | None -> lib
+    | Some path ->
+      let sgl = Superlib.read_file path in
+      let augmented = Superlib.augment lib sgl in
+      Printf.printf "superlib %s: +%d supergates (base %s, bounds depth=%d)\n"
+        path
+        (List.length sgl.Superlib.supergates)
+        sgl.Superlib.base_name sgl.Superlib.bounds.Superenum.depth;
+      augmented
+  in
   let db = Matchdb.prepare lib in
   let mode = mode_of_string mode_s in
   let sg = Subject.of_network net in
@@ -142,7 +164,8 @@ let run_map circuit lib_spec mode_s opt recover buffer out_file verilog_file sho
     (Netlist.num_gates nl) (Netlist.duplication nl) dt;
   if show_stats then begin
     match pattern_result with
-    | Some (_, result) -> print_mapper_stats result.Mapper.run par_stats
+    | Some (_, result) ->
+      print_mapper_stats ~cache_enabled:cache result.Mapper.run par_stats
     | None -> Printf.printf "stats: only available for pattern modes\n"
   end;
   let nl =
@@ -197,6 +220,41 @@ let run_map circuit lib_spec mode_s opt recover buffer out_file verilog_file sho
     output_string oc (Dagmap_blif.Verilog.write_netlist nl);
     close_out oc;
     Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
+(* superlib                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_superlib lib_spec out depth pins size cap fusion class_cap jobs
+    show_stats =
+  let base = load_library lib_spec in
+  let bounds =
+    { Superenum.depth;
+      max_pins = pins;
+      max_size = size;
+      max_gates = cap;
+      fusion;
+      class_cap }
+  in
+  let jobs =
+    match jobs with
+    | Some 0 -> Parmap.recommended_jobs ()
+    | Some j when j >= 1 -> j
+    | Some j -> failwith (Printf.sprintf "--jobs %d: want >= 1 (0 = auto)" j)
+    | None -> 1
+  in
+  let sgl, stats = Superlib.make ~bounds ~jobs base in
+  Superlib.write_file out sgl;
+  Printf.printf "superlib: %d supergates from %s (%d base gates) -> %s\n"
+    stats.Superenum.emitted base.Libraries.lib_name
+    (List.length base.Libraries.gates)
+    out;
+  if show_stats then
+    Printf.printf
+      "stats: %d compositions considered, %d NPN classes, %.2fs on %d domain%s\n"
+      stats.Superenum.considered stats.Superenum.distinct_classes
+      stats.Superenum.seconds jobs
+      (if jobs = 1 then "" else "s")
 
 (* ------------------------------------------------------------------ *)
 (* fpga                                                                *)
@@ -360,8 +418,11 @@ let mode_arg =
 
 let wrap f =
   try `Ok (f ()) with
-  | Failure m | Invalid_argument m ->
-    `Error (false, m)
+  | Failure m | Invalid_argument m -> `Error (false, m)
+  | Genlib_parser.Syntax_error _ as e ->
+    `Error (false, Genlib_parser.describe e)
+  | Superlib.Format_error m -> `Error (false, m)
+  | Sys_error m -> `Error (false, m)
 
 let map_cmd =
   let recover =
@@ -416,15 +477,107 @@ let map_cmd =
       value & flag
       & info [ "no-cache" ] ~doc:"Disable the structural match cache.")
   in
+  let super_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "super" ] ~docv:"FILE"
+          ~doc:
+            "Augment the library with the supergates of an .sglib file \
+             (generated by $(b,techmap superlib) from the same base \
+             library).")
+  in
   let term =
     Term.(
       ret
-        (const (fun c l m op r b o vf p v j st nc ->
-             wrap (fun () -> run_map c l m op r b o vf p v j st nc))
-        $ circuit_arg $ lib_arg $ mode_arg $ opt $ recover $ buffer $ out_file
-        $ verilog_file $ show_path $ verify $ jobs $ show_stats $ no_cache))
+        (const (fun c l sf m op r b o vf p v j st nc ->
+             wrap (fun () -> run_map c l sf m op r b o vf p v j st nc))
+        $ circuit_arg $ lib_arg $ super_file $ mode_arg $ opt $ recover
+        $ buffer $ out_file $ verilog_file $ show_path $ verify $ jobs
+        $ show_stats $ no_cache))
   in
   Cmd.v (Cmd.info "map" ~doc:"Map a circuit onto a gate library.") term
+
+let superlib_cmd =
+  let lib_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"LIB"
+          ~doc:"Base library: lib2, 44-1, 44-3, minimal, or a genlib file.")
+  in
+  let out_file =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the supergate library (.sglib).")
+  in
+  let depth =
+    Arg.(
+      value & opt int Superenum.default_bounds.Superenum.depth
+      & info [ "depth" ] ~docv:"D" ~doc:"Max composition levels (>= 2).")
+  in
+  let pins =
+    Arg.(
+      value & opt int Superenum.default_bounds.Superenum.max_pins
+      & info [ "pins" ] ~docv:"P" ~doc:"Max supergate pins (2..6).")
+  in
+  let size =
+    Arg.(
+      value & opt int Superenum.default_bounds.Superenum.max_size
+      & info [ "size" ] ~docv:"S" ~doc:"Max member gates per supergate.")
+  in
+  let cap =
+    Arg.(
+      value & opt int Superenum.default_bounds.Superenum.max_gates
+      & info [ "cap" ] ~docv:"N" ~doc:"Max supergates emitted.")
+  in
+  let fusion =
+    Arg.(
+      value & opt float Superenum.default_bounds.Superenum.fusion
+      & info [ "fusion" ] ~docv:"F"
+          ~doc:
+            "Child-delay discount in (0,1]: a fused composition's leaf \
+             delay is root delay + F * child delay. 1.0 makes supergates \
+             purely additive (never faster than chaining).")
+  in
+  let class_cap =
+    Arg.(
+      value & opt int Superenum.default_bounds.Superenum.class_cap
+      & info [ "class-cap" ] ~docv:"K"
+          ~doc:"Max supergates kept per NPN class.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Enumerate with N domains (0 = one per core). Output bytes are \
+             identical for every N.")
+  in
+  let show_stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print enumeration statistics.")
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun l o d p s c f k j st ->
+             wrap (fun () -> run_superlib l o d p s c f k j st))
+        $ lib_pos $ out_file $ depth $ pins $ size $ cap $ fusion $ class_cap
+        $ jobs $ show_stats))
+  in
+  Cmd.v
+    (Cmd.info "superlib"
+       ~doc:
+         "Generate a supergate library: enumerate bounded gate \
+          compositions, deduplicate by NPN class keeping delay-dominant \
+          representatives, and persist them as a checksummed .sglib file \
+          for $(b,techmap map --super).")
+    term
 
 let fpga_cmd =
   let k_arg =
@@ -482,4 +635,5 @@ let () =
   let doc = "delay-optimal technology mapping by DAG covering" in
   let info = Cmd.info "techmap" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-          [ map_cmd; fpga_cmd; retime_cmd; compare_cmd; libs_cmd; circuits_cmd ]))
+          [ map_cmd; superlib_cmd; fpga_cmd; retime_cmd; compare_cmd;
+            libs_cmd; circuits_cmd ]))

@@ -19,9 +19,11 @@ type stats = {
   label_seconds : float;
   cover_seconds : float;
   matches_tried : int;
+  super_matches_tried : int;
   cache_hits : int;
   cache_misses : int;
   cache_lookups : int;
+  super_gates_used : int;
 }
 
 type result = {
@@ -58,11 +60,13 @@ let better arrival area pins (best_arrival, best_area, best_pins) =
    concurrently. Returns the number of matches considered. *)
 let label_node ?cache cls db g ~fanouts ~levels ~labels ~best node =
   let tried = ref 0 in
+  let super_tried = ref 0 in
   let best_cost = ref (infinity, infinity, max_int) in
   Matchdb.for_each_node_match ?cache db cls g ~fanouts ~levels node (fun m ->
       incr tried;
-      let arrival = match_arrival labels m in
       let gate = Matcher.gate m in
+      if Gate.is_super gate then incr super_tried;
+      let arrival = match_arrival labels m in
       let area = gate.Gate.area in
       let pins = Gate.num_pins gate in
       if better arrival area pins !best_cost then begin
@@ -80,7 +84,7 @@ let label_node ?cache cls db g ~fanouts ~levels ~labels ~best node =
             description =
               Printf.sprintf "no %s match for subject node %d"
                 (Matcher.class_name cls) node }));
-  !tried
+  (!tried, !super_tried)
 
 let label ?(pi_arrival = fun _ -> 0.0) ?cache mode db g =
   let cls = mode_class mode in
@@ -90,13 +94,16 @@ let label ?(pi_arrival = fun _ -> 0.0) ?cache mode db g =
   let labels = Array.make n 0.0 in
   let best : Matcher.mtch option array = Array.make n None in
   let tried = ref 0 in
+  let super_tried = ref 0 in
   for node = 0 to n - 1 do
     match Subject.kind g node with
     | Spi -> labels.(node) <- pi_arrival node
     | Snand _ | Sinv _ ->
-      tried := !tried + label_node ?cache cls db g ~fanouts ~levels ~labels ~best node
+      let t, st = label_node ?cache cls db g ~fanouts ~levels ~labels ~best node in
+      tried := !tried + t;
+      super_tried := !super_tried + st
   done;
-  (labels, best, !tried)
+  (labels, best, (!tried, !super_tried))
 
 (* Cover construction (paper §3.3): a queue seeded with the output
    drivers; each popped node contributes one gate instance whose
@@ -159,10 +166,15 @@ let cover g (best : Matcher.mtch option array) =
   in
   { Netlist.source = g; instances; outputs }
 
+let super_gates_in netlist =
+  Array.fold_left
+    (fun acc i -> if Gate.is_super i.Netlist.gate then acc + 1 else acc)
+    0 netlist.Netlist.instances
+
 let map ?(cache = true) mode db g =
   let cache = if cache then Some (Matchdb.create_cache db) else None in
   let t0 = Sys.time () in
-  let labels, best, tried = label ?cache mode db g in
+  let labels, best, (tried, super_tried) = label ?cache mode db g in
   let t1 = Sys.time () in
   let netlist = cover g best in
   let t2 = Sys.time () in
@@ -177,8 +189,9 @@ let map ?(cache = true) mode db g =
     best;
     run =
       { label_seconds = t1 -. t0; cover_seconds = t2 -. t1;
-        matches_tried = tried; cache_hits = ch; cache_misses = cm;
-        cache_lookups = cl } }
+        matches_tried = tried; super_matches_tried = super_tried;
+        cache_hits = ch; cache_misses = cm; cache_lookups = cl;
+        super_gates_used = super_gates_in netlist } }
 
 let optimal_delay r =
   List.fold_left

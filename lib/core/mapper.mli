@@ -35,9 +35,14 @@ type stats = {
   label_seconds : float;
   cover_seconds : float;
   matches_tried : int;   (** successful matches considered while labeling *)
+  super_matches_tried : int;
+      (** subset of [matches_tried] whose gate is a supergate
+          ({!Dagmap_genlib.Gate.is_super}) *)
   cache_hits : int;      (** match-cache hits (0 when caching is off) *)
   cache_misses : int;
   cache_lookups : int;   (** = hits + misses *)
+  super_gates_used : int;
+      (** supergate instances in the final cover netlist *)
 }
 
 type result = {
@@ -59,11 +64,12 @@ val label :
   mode ->
   Matchdb.t ->
   Subject.t ->
-  float array * Matcher.mtch option array * int
+  float array * Matcher.mtch option array * (int * int)
 (** Labeling pass only: optimal arrival and best match per node,
-    plus the count of matches considered. [pi_arrival] overrides the
-    arrival time of a PI node (default 0 everywhere) — the sequential
-    extension uses it to inject latch-output arrivals. *)
+    plus [(matches tried, supergate matches tried)]. [pi_arrival]
+    overrides the arrival time of a PI node (default 0 everywhere) —
+    the sequential extension uses it to inject latch-output
+    arrivals. *)
 
 val label_node :
   ?cache:Matchdb.cache ->
@@ -75,13 +81,18 @@ val label_node :
   labels:float array ->
   best:Matcher.mtch option array ->
   int ->
-  int
+  int * int
 (** The DP kernel for one NAND/INV node: fills [labels.(node)] and
-    [best.(node)] from the labels of its fanin cone and returns the
-    number of matches considered. Raises {!Unmappable} if the node
+    [best.(node)] from the labels of its fanin cone and returns
+    [(matches considered, supergate matches considered)]. Raises
+    {!Unmappable} if the node
     has no match. Reads only strictly-lower-level entries of
     [labels], so calls within one topological level are independent —
     {!Parmap} relies on exactly this. Do not call on a PI node. *)
+
+val super_gates_in : Netlist.t -> int
+(** Number of supergate instances in a netlist (the
+    [super_gates_used] statistic). *)
 
 val cover : Subject.t -> Matcher.mtch option array -> Netlist.t
 (** Cover construction (paper §3.3) from a completed [best] array:

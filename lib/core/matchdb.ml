@@ -146,6 +146,12 @@ let create_cache _db =
 let cache_hits c = c.hits
 let cache_misses c = c.misses
 let cache_lookups c = c.lookups
+let cache_retired c = c.disabled
+
+let reset_counters c =
+  c.hits <- 0;
+  c.misses <- 0;
+  c.lookups <- 0
 
 (* Beyond this cone size the signature itself gets expensive and
    shapes stop repeating; bypass the cache (still deterministic). *)

@@ -48,6 +48,17 @@ val cache_lookups : cache -> int
     are not counted — so caching never costs more than a bounded
     constant on cache-hostile inputs. *)
 
+val cache_retired : cache -> bool
+(** Whether the cache has retired itself (later lookups bypass it). *)
+
+val reset_counters : cache -> unit
+(** Zero the hit/miss/lookup counters without touching the stored
+    entries, so a cache shared across several {!Mapper} runs in one
+    process reports per-run statistics (the second run then starts
+    warm: typically all hits). Resetting restarts the retirement
+    probation; an already-retired cache stays retired and keeps
+    reporting zero activity. *)
+
 val for_each_node_match :
   ?cache:cache ->
   t ->

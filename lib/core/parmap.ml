@@ -134,16 +134,19 @@ let label ?jobs ?(cache = true) ?(pi_arrival = fun _ -> 0.0) mode db g =
   (* Per-worker counters; the total is deterministic (a sum over
      nodes of a per-node count) even though the split is not. *)
   let tried = Array.make jobs 0 in
+  let super_tried = Array.make jobs 0 in
   let level_seconds = Array.make (Array.length by_level) 0.0 in
   let failure : exn option Atomic.t = Atomic.make None in
   let process worker node =
     match Subject.kind g node with
     | Spi -> labels.(node) <- pi_arrival node
     | Snand _ | Sinv _ ->
-      tried.(worker) <-
-        tried.(worker)
-        + Mapper.label_node ?cache:caches.(worker) cls db g ~fanouts ~levels
-            ~labels ~best node
+      let t, st =
+        Mapper.label_node ?cache:caches.(worker) cls db g ~fanouts ~levels
+          ~labels ~best node
+      in
+      tried.(worker) <- tried.(worker) + t;
+      super_tried.(worker) <- super_tried.(worker) + st
   in
   let pool = if jobs > 1 then Some (make_pool (jobs - 1)) else None in
   Fun.protect
@@ -187,6 +190,7 @@ let label ?jobs ?(cache = true) ?(pi_arrival = fun _ -> 0.0) mode db g =
           level_seconds.(li) <- Unix.gettimeofday () -. t0)
         by_level);
   let tried = Array.fold_left ( + ) 0 tried in
+  let super_tried = Array.fold_left ( + ) 0 super_tried in
   let hits, misses, lookups =
     Array.fold_left
       (fun (h, m, l) c ->
@@ -207,11 +211,11 @@ let label ?jobs ?(cache = true) ?(pi_arrival = fun _ -> 0.0) mode db g =
       widest_level;
       level_seconds }
   in
-  (labels, best, (tried, hits, misses, lookups), stats)
+  (labels, best, (tried, super_tried, hits, misses, lookups), stats)
 
 let map ?jobs ?cache mode db g =
   let t0 = Unix.gettimeofday () in
-  let labels, best, (tried, hits, misses, lookups), par =
+  let labels, best, (tried, super_tried, hits, misses, lookups), par =
     label ?jobs ?cache mode db g
   in
   let t1 = Unix.gettimeofday () in
@@ -224,7 +228,9 @@ let map ?jobs ?cache mode db g =
         { Mapper.label_seconds = t1 -. t0;
           cover_seconds = t2 -. t1;
           matches_tried = tried;
+          super_matches_tried = super_tried;
           cache_hits = hits;
           cache_misses = misses;
-          cache_lookups = lookups } },
+          cache_lookups = lookups;
+          super_gates_used = Mapper.super_gates_in netlist } },
     par )

@@ -28,6 +28,29 @@ type par_stats = {
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
+(** {1 Persistent domain pool}
+
+    The pool that backs the level sweep, exported for other
+    fan-out/barrier workloads (supergate enumeration uses it). A pool
+    of size [s] keeps [s] worker domains alive; {!run_pool} runs one
+    task per worker {e and} on the calling domain, so a task sees
+    worker indices [0 .. s] ([s] = the caller). Tasks must not raise
+    — trap exceptions into an [Atomic.t] and re-raise after the
+    barrier, as {!label} does. *)
+
+type pool
+
+val make_pool : int -> pool
+(** [make_pool s] spawns [s] worker domains (the caller is worker
+    [s], so [make_pool (jobs - 1)] gives [jobs]-way parallelism). *)
+
+val run_pool : pool -> (int -> unit) -> unit
+(** [run_pool p task] runs [task w] for every [w] in [0 .. s] and
+    returns when all have finished. Not reentrant. *)
+
+val shutdown_pool : pool -> unit
+(** Joins the worker domains. The pool must not be used afterwards. *)
+
 val label :
   ?jobs:int ->
   ?cache:bool ->
@@ -37,13 +60,13 @@ val label :
   Subject.t ->
   float array
   * Matcher.mtch option array
-  * (int * int * int * int)
+  * (int * int * int * int * int)
   * par_stats
 (** Parallel labeling pass. [jobs] defaults to {!recommended_jobs};
     [cache] (default true) enables per-worker match caches. The int
-    quadruple is (matches tried, cache hits, cache misses, cache
-    lookups). Raises {!Mapper.Unmappable} exactly when the
-    sequential pass would. *)
+    quintuple is (matches tried, supergate matches tried, cache
+    hits, cache misses, cache lookups). Raises {!Mapper.Unmappable}
+    exactly when the sequential pass would. *)
 
 val map :
   ?jobs:int ->

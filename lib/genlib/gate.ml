@@ -2,6 +2,8 @@ open Dagmap_logic
 
 type phase = Inv | Noninv | Unknown
 
+type origin = Library | Super
+
 type pin = {
   pin_name : string;
   phase : phase;
@@ -20,9 +22,10 @@ type t = {
   expr : Bexpr.t;
   pins : pin array;
   func : Truth.t;
+  origin : origin;
 }
 
-let make ~name ~area ?(output_name = "O") ~pins expr =
+let make ~name ~area ?(output_name = "O") ?(origin = Library) ~pins expr =
   if Bexpr.num_vars expr > Array.length pins then
     invalid_arg
       (Printf.sprintf "Gate.make %s: formula references pin %d but only %d pins"
@@ -30,7 +33,11 @@ let make ~name ~area ?(output_name = "O") ~pins expr =
   if Array.length pins > Truth.max_vars then
     invalid_arg (Printf.sprintf "Gate.make %s: too many pins" name);
   let func = Bexpr.to_truth (Array.length pins) expr in
-  { gate_name = name; area; output_name; expr; pins; func }
+  { gate_name = name; area; output_name; expr; pins; func; origin }
+
+let with_origin origin g = { g with origin }
+
+let is_super g = g.origin = Super
 
 let simple_pin ?(delay = 1.0) ?(load = 1.0) pin_name =
   { pin_name; phase = Unknown; input_load = load; max_load = 999.0;

@@ -10,6 +10,12 @@ open Dagmap_logic
 
 type phase = Inv | Noninv | Unknown
 
+type origin = Library | Super
+(** Where the gate comes from: an ordinary library cell, or a
+    generated supergate (a fused composition of library cells, see
+    {!module:Dagmap_super}). The mappers treat both identically; the
+    tag only feeds usage statistics. *)
+
 type pin = {
   pin_name : string;
   phase : phase;
@@ -28,17 +34,26 @@ type t = private {
   expr : Bexpr.t;          (** over pin indices *)
   pins : pin array;
   func : Truth.t;          (** over pin indices *)
+  origin : origin;
 }
 
 val make :
   name:string ->
   area:float ->
   ?output_name:string ->
+  ?origin:origin ->
   pins:pin array ->
   Bexpr.t ->
   t
 (** Build a gate; the expression's variables must be within the pin
-    array. Raises [Invalid_argument] otherwise. *)
+    array. Raises [Invalid_argument] otherwise. [origin] defaults to
+    {!Library}. *)
+
+val with_origin : origin -> t -> t
+(** Retag a gate (genlib text carries no origin, so supergate library
+    files retag after parsing). *)
+
+val is_super : t -> bool
 
 val simple_pin : ?delay:float -> ?load:float -> string -> pin
 (** A pin whose rise and fall block delays both equal [delay]

@@ -1,74 +1,102 @@
 open Dagmap_logic
 
-exception Syntax_error of { line : int; message : string }
+exception
+  Syntax_error of {
+    file : string option;
+    line : int;
+    col : int;
+    message : string;
+  }
 
-type token = { text : string; line : int }
+let describe = function
+  | Syntax_error { file; line; col; message } ->
+    Printf.sprintf "%s:%d:%d: %s"
+      (Option.value file ~default:"<genlib>")
+      line col message
+  | _ -> invalid_arg "Genlib_parser.describe"
+
+type pos = { line : int; col : int }
+
+type token = { text : string; pos : pos }
 
 (* Tokenize: strip comments, split GATE statements on ';', keep PIN
    lines word-wise. The grammar is line-oriented enough that a simple
-   word scanner suffices; formulas are re-parsed by Bexpr.parse. *)
+   word scanner suffices; formulas are re-parsed by Bexpr.parse.
+   Every token remembers the 1-based line/column of its first
+   character so errors can point at the offending input. *)
 let tokenize source =
   let tokens = ref [] in
   let buf = Buffer.create 32 in
   let line = ref 1 in
+  let col = ref 1 in
+  let tok_pos = ref { line = 1; col = 1 } in
   let flush () =
     if Buffer.length buf > 0 then begin
-      tokens := { text = Buffer.contents buf; line = !line } :: !tokens;
+      tokens := { text = Buffer.contents buf; pos = !tok_pos } :: !tokens;
       Buffer.clear buf
     end
   in
   let in_comment = ref false in
   String.iter
     (fun c ->
-      match c with
-      | '\n' ->
-        flush ();
-        in_comment := false;
-        incr line
-      | _ when !in_comment -> ()
-      | '#' ->
-        flush ();
-        in_comment := true
-      | ' ' | '\t' | '\r' -> flush ()
-      | ';' ->
-        flush ();
-        tokens := { text = ";"; line = !line } :: !tokens
-      | c -> Buffer.add_char buf c)
+      (match c with
+       | '\n' ->
+         flush ();
+         in_comment := false
+       | _ when !in_comment -> ()
+       | '#' ->
+         flush ();
+         in_comment := true
+       | ' ' | '\t' | '\r' -> flush ()
+       | ';' ->
+         flush ();
+         tokens := { text = ";"; pos = { line = !line; col = !col } } :: !tokens
+       | c ->
+         if Buffer.length buf = 0 then tok_pos := { line = !line; col = !col };
+         Buffer.add_char buf c);
+      if c = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col)
     source;
   flush ();
   List.rev !tokens
 
-let error line fmt =
-  Printf.ksprintf (fun message -> raise (Syntax_error { line; message })) fmt
+let error ?file pos fmt =
+  Printf.ksprintf
+    (fun message ->
+      raise (Syntax_error { file; line = pos.line; col = pos.col; message }))
+    fmt
 
-let float_of_token t =
+let float_of_token ?file t =
   match float_of_string_opt t.text with
   | Some f -> f
-  | None -> error t.line "expected a number, got %S" t.text
+  | None -> error ?file t.pos "expected a number, got %S" t.text
 
-let phase_of_token t =
+let phase_of_token ?file t =
   match t.text with
   | "INV" -> Gate.Inv
   | "NONINV" -> Gate.Noninv
   | "UNKNOWN" -> Gate.Unknown
-  | s -> error t.line "expected INV/NONINV/UNKNOWN, got %S" s
+  | s -> error ?file t.pos "expected INV/NONINV/UNKNOWN, got %S" s
 
 (* One PIN clause: 8 fields after the keyword. *)
-let parse_pin line rest =
+let parse_pin ?file pos rest =
   match rest with
   | name :: ph :: il :: ml :: rb :: rf :: fb :: ff :: tail ->
     let pin =
       { Gate.pin_name = name.text;
-        phase = phase_of_token ph;
-        input_load = float_of_token il;
-        max_load = float_of_token ml;
-        rise_block = float_of_token rb;
-        rise_fanout = float_of_token rf;
-        fall_block = float_of_token fb;
-        fall_fanout = float_of_token ff }
+        phase = phase_of_token ?file ph;
+        input_load = float_of_token ?file il;
+        max_load = float_of_token ?file ml;
+        rise_block = float_of_token ?file rb;
+        rise_fanout = float_of_token ?file rf;
+        fall_block = float_of_token ?file fb;
+        fall_fanout = float_of_token ?file ff }
     in
     (pin, tail)
-  | _ -> error line "truncated PIN clause"
+  | _ -> error ?file pos "truncated PIN clause"
 
 (* Collect formula tokens up to ';' (formulas may contain spaces). *)
 let rec take_until_semi acc = function
@@ -76,57 +104,59 @@ let rec take_until_semi acc = function
   | { text = ";"; _ } :: rest -> (List.rev acc, rest)
   | t :: rest -> take_until_semi (t :: acc) rest
 
-let split_equation line tokens =
+let split_equation ?file pos tokens =
   let text = String.concat " " (List.map (fun t -> t.text) tokens) in
+  let pos = match tokens with t :: _ -> t.pos | [] -> pos in
   match String.index_opt text '=' with
-  | None -> error line "expected <output>=<formula> in GATE statement"
+  | None -> error ?file pos "expected <output>=<formula> in GATE statement"
   | Some i ->
     let output = String.trim (String.sub text 0 i) in
     let formula = String.sub text (i + 1) (String.length text - i - 1) in
-    if String.equal output "" then error line "empty output name";
+    if String.equal output "" then error ?file pos "empty output name";
     (output, formula)
 
-let rec parse_statements acc tokens =
+let rec parse_statements ?file acc tokens =
   match tokens with
   | [] -> List.rev acc
-  | { text = "GATE"; line } :: rest -> begin
+  | { text = "GATE"; pos } :: rest -> begin
     match rest with
     | name :: area :: more ->
       let equation_tokens, after = take_until_semi [] more in
-      let output_name, formula = split_equation line equation_tokens in
+      let output_name, formula = split_equation ?file pos equation_tokens in
       let pin_names = ref [] in
       let expr =
         try Bexpr.parse ~pin_names formula
-        with Bexpr.Parse_error m -> error line "bad formula for %s: %s" name.text m
+        with Bexpr.Parse_error m ->
+          error ?file name.pos "bad formula for %s: %s" name.text m
       in
-      let pins, after = parse_pins line [] after in
-      let pins = assign_pins line name.text !pin_names pins in
+      let pins, after = parse_pins ?file pos [] after in
+      let pins = assign_pins ?file name.pos name.text !pin_names pins in
       let gate =
         try
-          Gate.make ~name:name.text ~area:(float_of_token area)
+          Gate.make ~name:name.text ~area:(float_of_token ?file area)
             ~output_name ~pins expr
-        with Invalid_argument m -> error line "%s" m
+        with Invalid_argument m -> error ?file name.pos "%s" m
       in
-      parse_statements (gate :: acc) after
-    | _ -> error line "truncated GATE statement"
+      parse_statements ?file (gate :: acc) after
+    | _ -> error ?file pos "truncated GATE statement"
   end
-  | { text = "LATCH"; line } :: rest ->
+  | { text = "LATCH"; pos } :: rest ->
     (* Skip the LATCH statement and its trailing clauses. *)
     let _, after = take_until_semi [] rest in
-    let after = skip_latch_clauses line after in
-    parse_statements acc after
-  | { text; line } :: _ -> error line "unexpected token %S" text
+    let after = skip_latch_clauses pos after in
+    parse_statements ?file acc after
+  | { text; pos } :: _ -> error ?file pos "unexpected token %S" text
 
-and parse_pins line acc tokens =
+and parse_pins ?file pos acc tokens =
   match tokens with
-  | { text = "PIN"; line = pl } :: rest ->
-    let pin, after = parse_pin pl rest in
-    parse_pins line (pin :: acc) after
+  | { text = "PIN"; pos = pl } :: rest ->
+    let pin, after = parse_pin ?file pl rest in
+    parse_pins ?file pos (pin :: acc) after
   | _ -> (List.rev acc, tokens)
 
-and skip_latch_clauses line tokens =
+and skip_latch_clauses pos tokens =
   match tokens with
-  | { text = "PIN" | "SEQ" | "CONTROL" | "CONSTRAINT"; line = cl } :: rest ->
+  | { text = "PIN" | "SEQ" | "CONTROL" | "CONSTRAINT"; _ } :: rest ->
     (* Each clause is fixed-arity except we just drop words until the
        next keyword; clause words never collide with keywords. *)
     let rec drop = function
@@ -136,14 +166,13 @@ and skip_latch_clauses line tokens =
       | [] -> []
       | _ :: rest -> drop rest
     in
-    ignore cl;
-    skip_latch_clauses line (drop rest)
+    skip_latch_clauses pos (drop rest)
   | _ -> tokens
 
 (* Distribute parsed PIN clauses over the formula's pins: a clause
    whose name matches applies to that pin; a "*" clause applies to all
    pins without an explicit clause. *)
-and assign_pins line gate_name pin_names clauses =
+and assign_pins ?file pos gate_name pin_names clauses =
   let star =
     List.find_opt (fun p -> String.equal p.Gate.pin_name "*") clauses
   in
@@ -157,19 +186,19 @@ and assign_pins line gate_name pin_names clauses =
       | Some p -> { p with Gate.pin_name = name }
       | None ->
         if clauses = [] then Gate.simple_pin name
-        else error line "gate %s: no PIN clause for input %s" gate_name name
+        else error ?file pos "gate %s: no PIN clause for input %s" gate_name name
     end
   in
   Array.of_list (List.map lookup pin_names)
 
-let parse_string source = parse_statements [] (tokenize source)
+let parse_string ?file source = parse_statements ?file [] (tokenize source)
 
 let parse_file path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let source = really_input_string ic len in
   close_in ic;
-  parse_string source
+  parse_string ~file:path source
 
 let to_string gates =
   String.concat "\n" (List.map Gate.to_genlib_string gates) ^ "\n"

@@ -12,12 +12,25 @@
     structurally by the retiming layer). A [PIN *] line applies to
     all formula inputs. *)
 
-exception Syntax_error of { line : int; message : string }
+exception
+  Syntax_error of {
+    file : string option;  (** [None] when parsing an in-memory string *)
+    line : int;            (** 1-based *)
+    col : int;             (** 1-based column of the offending token *)
+    message : string;
+  }
 
-val parse_string : string -> Gate.t list
-(** Parse genlib source text. Raises {!Syntax_error}. *)
+val describe : exn -> string
+(** Render a {!Syntax_error} as ["file:line:col: message"] (the file
+    defaults to ["<genlib>"]). Raises [Invalid_argument] on any other
+    exception. *)
+
+val parse_string : ?file:string -> string -> Gate.t list
+(** Parse genlib source text. Raises {!Syntax_error}; [file] only
+    labels error messages. *)
 
 val parse_file : string -> Gate.t list
+(** Like {!parse_string}, with errors carrying the file name. *)
 
 val to_string : Gate.t list -> string
 (** Render a library back to genlib syntax. *)

@@ -1,0 +1,55 @@
+open Dagmap_logic
+
+type memo = (int * string, string) Hashtbl.t
+
+let create_memo () = Hashtbl.create 1024
+
+(* Semi-canonical key for n = 6, where exact NPN (2^(n+1) n! tables)
+   is too expensive per candidate. Output phase is normalized by
+   minterm count (ties by lexicographic table order), then variables
+   are sorted by a cofactor signature. This respects output negation
+   and variable permutation but not input negation, and permutation
+   only up to signature ties — so it may split one true NPN class
+   into a few keys (never merges distinct classes). Over-splitting
+   merely lets an occasional redundant supergate survive dedup; the
+   per-class dominance pruning still applies within each key. Keys
+   are prefixed with '~' so they can never collide with the exact
+   canonical hex used for n <= 5. *)
+let semi tt =
+  let n = Truth.num_vars tt in
+  let neg = Truth.lognot tt in
+  let tt =
+    let c1 = Truth.count_ones tt and c0 = Truth.count_ones neg in
+    if c0 < c1 || (c0 = c1 && Truth.compare neg tt < 0) then neg else tt
+  in
+  let signature i =
+    let cf1 = Truth.cofactor tt i true and cf0 = Truth.cofactor tt i false in
+    ( Truth.count_ones cf1,
+      Truth.count_ones cf0,
+      Truth.to_hex cf1,
+      Truth.to_hex cf0 )
+  in
+  let sigs = Array.init n signature in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = compare sigs.(a) sigs.(b) in
+      if c <> 0 then c else compare a b)
+    order;
+  let perm = Array.make n 0 in
+  Array.iteri (fun newpos old -> perm.(old) <- newpos) order;
+  "~" ^ Truth.to_hex (Truth.permute tt perm)
+
+let key memo tt =
+  let n = Truth.num_vars tt in
+  let hex = Truth.to_hex tt in
+  match Hashtbl.find_opt memo (n, hex) with
+  | Some k -> k
+  | None ->
+    let k =
+      if n <= 5 then Truth.to_hex (fst (Npn.npn_canon tt))
+      else if n = 6 then semi tt
+      else invalid_arg "Supercanon.key: more than 6 variables"
+    in
+    Hashtbl.add memo (n, hex) k;
+    k

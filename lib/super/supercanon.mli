@@ -1,0 +1,24 @@
+(** NPN-canonical keys for supergate deduplication.
+
+    For up to 5 variables the key is the exact NPN-canonical truth
+    table ({!Dagmap_logic.Npn.npn_canon}, cost [2^(n+1) n!] — fine at
+    this arity). For 6 variables a cheap {e semi-canonical} key is
+    used: output phase normalized by minterm count, variables sorted
+    by cofactor signatures, result prefixed ["~"]. The semi key never
+    merges functions from different NPN classes; it may split one
+    class into several keys, which only weakens deduplication (an
+    occasional redundant supergate survives), never correctness.
+
+    Keys are memoized per worker: enumeration produces the same raw
+    truth table many times through different compositions. *)
+
+open Dagmap_logic
+
+type memo
+(** Per-worker memo table (not thread-safe — one per domain). *)
+
+val create_memo : unit -> memo
+
+val key : memo -> Truth.t -> string
+(** Canonical key of a function of at most 6 variables. Raises
+    [Invalid_argument] beyond 6. *)

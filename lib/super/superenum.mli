@@ -1,0 +1,53 @@
+(** Bounded enumeration of supergate compositions with NPN-canonical
+    deduplication and delay-dominance pruning.
+
+    Level by level ([d = 2 .. depth]), every usable library gate is
+    tried as a root with each pin either a fresh leaf or a subtree —
+    a single library gate or a surviving representative from a lower
+    level — requiring at least one child of depth [d - 1] (so each
+    level enumerates exactly the new-depth trees). Candidates are
+    keyed by {!Supercanon.key}; within a class only the Pareto
+    frontier on (max pin delay, area) survives, capped at
+    [class_cap], and the class table is seeded with the base library
+    gates so a supergate must beat (or area-complement) an existing
+    cell to survive.
+
+    The per-root fan-out runs across the persistent
+    {!Dagmap_core.Parmap} domain pool: an atomic cursor hands root
+    gates to workers, each worker keeps a private candidate list and
+    {!Supercanon.memo}, and the merge sorts the concatenated lists by
+    a total order (class key, delay, area, size, leaves, structure)
+    — so the emitted gate list is byte-identical no matter how many
+    domains enumerated it. *)
+
+open Dagmap_genlib
+
+type bounds = {
+  depth : int;      (** max composition levels (>= 2) *)
+  max_pins : int;   (** max leaves = pins of a supergate (2..6) *)
+  max_size : int;   (** max member gates per supergate (>= 2) *)
+  max_gates : int;  (** cap on emitted supergates *)
+  fusion : float;   (** child-delay discount, in (0, 1]; see
+                        {!Supergate} *)
+  class_cap : int;  (** max supergates kept per NPN class (>= 1) *)
+}
+
+val default_bounds : bounds
+(** depth 2, max_pins 5, max_size 4, max_gates 200, fusion 0.85,
+    class_cap 2. *)
+
+type stats = {
+  considered : int;        (** composition trees examined *)
+  distinct_classes : int;  (** NPN classes seen (incl. base gates) *)
+  emitted : int;           (** supergates returned *)
+  seconds : float;         (** wall-clock enumeration time *)
+}
+
+val generate :
+  ?bounds:bounds -> ?jobs:int -> Libraries.t -> Gate.t list * stats
+(** Enumerate the supergates of a library. [jobs] (default 1) is the
+    number of domains. The gate list (names, order, pin delays,
+    formulas) is a deterministic function of the library and bounds
+    alone; [stats.considered] is likewise deterministic, only
+    [seconds] varies. Raises [Invalid_argument] on out-of-range
+    bounds. *)

@@ -1,0 +1,88 @@
+open Dagmap_logic
+open Dagmap_genlib
+
+type tree = { gate : Gate.t; children : child array }
+and child = Leaf | Sub of tree
+
+let single gate = { gate; children = Array.make (Gate.num_pins gate) Leaf }
+
+let rec leaves t =
+  Array.fold_left
+    (fun acc c -> acc + match c with Leaf -> 1 | Sub s -> leaves s)
+    0 t.children
+
+let rec size t =
+  Array.fold_left
+    (fun acc c -> acc + match c with Leaf -> 0 | Sub s -> size s)
+    1 t.children
+
+let rec depth t =
+  1
+  + Array.fold_left
+      (fun acc c -> max acc (match c with Leaf -> 0 | Sub s -> depth s))
+      0 t.children
+
+let rec area t =
+  Array.fold_left
+    (fun acc c -> acc +. match c with Leaf -> 0.0 | Sub s -> area s)
+    t.gate.Gate.area t.children
+
+(* Composed formula over leaf variables, numbered left to right (the
+   pin order of the fused gate). Substitution arrays are built before
+   the map so a pin referenced twice in a gate formula (e.g. an XOR
+   expansion) maps to the same subexpression. *)
+let expr t =
+  let next = ref 0 in
+  let rec go t =
+    let sub =
+      Array.map
+        (function
+          | Leaf ->
+            let v = Bexpr.var !next in
+            incr next;
+            v
+          | Sub s -> go s)
+        t.children
+    in
+    Bexpr.map_vars (fun i -> sub.(i)) t.gate.Gate.expr
+  in
+  go t
+
+let func t = Bexpr.to_truth (leaves t) (expr t)
+
+(* Delays round-trip through genlib text (%g, 6 significant digits);
+   quantizing to 1e-4 makes written and reparsed gates identical. *)
+let quantize d = Float.round (d *. 1e4) /. 1e4
+
+let pin_delays ~fusion t =
+  let rec go t =
+    List.concat
+      (Array.to_list
+         (Array.mapi
+            (fun pin c ->
+              let d = Gate.intrinsic_delay t.gate pin in
+              match c with
+              | Leaf -> [ d ]
+              | Sub s -> List.map (fun cd -> d +. (fusion *. cd)) (go s))
+            t.children))
+  in
+  List.map quantize (go t)
+
+let max_delay ~fusion t =
+  List.fold_left Float.max 0.0 (pin_delays ~fusion t)
+
+let rec structure t =
+  let parts =
+    Array.to_list
+      (Array.map (function Leaf -> "." | Sub s -> structure s) t.children)
+  in
+  t.gate.Gate.gate_name ^ "(" ^ String.concat "," parts ^ ")"
+
+let to_gate ~fusion ~name t =
+  let pins =
+    Array.of_list
+      (List.mapi
+         (fun i d -> Gate.simple_pin ~delay:d (Printf.sprintf "p%d" i))
+         (pin_delays ~fusion t))
+  in
+  Gate.make ~name ~area:(quantize (area t)) ~origin:Gate.Super ~pins (expr t)

@@ -1,0 +1,69 @@
+(** Supergates: composition trees of library gates, fused into single
+    genlib gates.
+
+    A supergate is a rooted tree whose internal nodes are library
+    gates and whose dangling pins are the leaves — the pins of the
+    fused gate, numbered left to right. Fusing composes the gate
+    formulas and the pin-to-output delays; the result is an ordinary
+    {!Dagmap_genlib.Gate.t} (tagged {!Dagmap_genlib.Gate.Super}), so
+    the matcher, match database and mapper consume supergates with no
+    changes to the labeling algorithm.
+
+    {b Delay model.} A leaf's delay through the fused gate is
+    [root pin delay + fusion * (delay through the subtree)] with
+    [fusion <= 1.0]: a fused composition is cheaper than cascading
+    the same cells as separate instances, because fusion removes the
+    inter-cell interconnect/buffering overhead that each cell's block
+    delay budgets for. This mirrors the repo's 44-3-style library,
+    whose wide complex gates are faster than the equivalent cascade
+    of its 44-1 cells. With [fusion = 1.0] composition is purely
+    additive and a supergate can never beat the DP chaining the same
+    gates — the discount is what gives supergate libraries their
+    delay advantage. *)
+
+open Dagmap_logic
+open Dagmap_genlib
+
+type tree = { gate : Gate.t; children : child array }
+and child = Leaf | Sub of tree
+(** [children] has one entry per pin of [gate]. *)
+
+val single : Gate.t -> tree
+(** The one-gate tree (every pin a leaf). *)
+
+val leaves : tree -> int
+(** Number of leaves = pins of the fused gate. *)
+
+val size : tree -> int
+(** Number of library gates in the tree. *)
+
+val depth : tree -> int
+(** Levels of gates ([single] has depth 1). *)
+
+val area : tree -> float
+(** Sum of the member gates' areas. *)
+
+val expr : tree -> Bexpr.t
+(** Composed formula over leaf indices (left-to-right order). *)
+
+val func : tree -> Truth.t
+(** Truth table of {!expr} over [leaves t] variables. *)
+
+val pin_delays : fusion:float -> tree -> float list
+(** Per-leaf fused delay (left-to-right), each quantized to [1e-4]
+    so gates round-trip exactly through genlib text. *)
+
+val max_delay : fusion:float -> tree -> float
+(** Max over {!pin_delays}. *)
+
+val structure : tree -> string
+(** Structural key, e.g. ["nand2(inv(.),.)"]  — injective on trees,
+    used as the final deterministic tiebreak. *)
+
+val to_gate : fusion:float -> name:string -> tree -> Gate.t
+(** Fuse into a gate: pins [p0..pk] with {!pin_delays}, area
+    {!area} (quantized), formula {!expr}, origin
+    {!Dagmap_genlib.Gate.Super}. *)
+
+val quantize : float -> float
+(** Round to [1e-4] (the genlib round-trip grid). *)

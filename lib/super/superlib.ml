@@ -1,0 +1,159 @@
+open Dagmap_genlib
+
+exception Format_error of string
+
+type t = {
+  base_name : string;
+  base_fingerprint : string;
+  bounds : Superenum.bounds;
+  supergates : Gate.t list;
+}
+
+(* FNV-1a, 64-bit: tiny, dependency-free, and stable across runs and
+   platforms — enough to catch truncation, bit rot and stale bases
+   (this is an integrity check, not an authenticity one). *)
+let fnv64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun ch ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code ch))) prime)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let fingerprint (lib : Libraries.t) =
+  fnv64 (Genlib_parser.to_string lib.Libraries.gates)
+
+let make ?bounds ?jobs (base : Libraries.t) =
+  let supergates, stats = Superenum.generate ?bounds ?jobs base in
+  let bounds = Option.value ~default:Superenum.default_bounds bounds in
+  ( { base_name = base.Libraries.lib_name;
+      base_fingerprint = fingerprint base;
+      bounds;
+      supergates },
+    stats )
+
+let to_string t =
+  let b = t.bounds in
+  let body =
+    Printf.sprintf
+      "SGLIB 1\nbase %s\nbase-fingerprint %s\n\
+       bounds depth=%d pins=%d size=%d cap=%d fusion=%g classcap=%d\n\
+       supergates %d\n%s"
+      t.base_name t.base_fingerprint b.Superenum.depth b.Superenum.max_pins
+      b.Superenum.max_size b.Superenum.max_gates b.Superenum.fusion
+      b.Superenum.class_cap
+      (List.length t.supergates)
+      (Genlib_parser.to_string t.supergates)
+  in
+  body ^ Printf.sprintf "END %s\n" (fnv64 body)
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Format_error m)) fmt
+
+let of_string s =
+  (* Version first: a future format may change everything after the
+     magic line (including the checksum), so it must be judged before
+     anything else is interpreted. *)
+  (match String.index_opt s '\n' with
+   | None -> fail "not an SGLIB file (no header line)"
+   | Some nl -> (
+     match String.split_on_char ' ' (String.sub s 0 nl) with
+     | [ "SGLIB"; "1" ] -> ()
+     | [ "SGLIB"; v ] -> fail "unsupported SGLIB version %s (expected 1)" v
+     | _ -> fail "not an SGLIB file (bad magic %S)" (String.sub s 0 nl)));
+  (* Checksum next: everything up to and including the newline
+     before the final END line is covered. *)
+  let body, trailer =
+    match
+      let at = ref (-1) in
+      String.iteri
+        (fun i c ->
+          if
+            c = '\n'
+            && i + 4 <= String.length s - 1
+            && String.sub s (i + 1) 4 = "END "
+          then at := i)
+        s;
+      !at
+    with
+    | -1 -> fail "missing END checksum line"
+    | i -> (String.sub s 0 (i + 1), String.sub s (i + 1) (String.length s - i - 1))
+  in
+  (match String.split_on_char '\n' (String.trim trailer) with
+   | [ line ] -> (
+     match String.split_on_char ' ' line with
+     | [ "END"; sum ] ->
+       let actual = fnv64 body in
+       if not (String.equal sum actual) then
+         fail "checksum mismatch (file corrupted): stored %s, computed %s" sum
+           actual
+     | _ -> fail "malformed END line")
+   | _ -> fail "trailing bytes after END line");
+  let lines = String.split_on_char '\n' body in
+  let header, rest =
+    match lines with
+    | version :: base :: fp :: bounds :: count :: rest ->
+      ((version, base, fp, bounds, count), rest)
+    | _ -> fail "truncated header"
+  in
+  let _version, base_line, fp_line, bounds_line, count_line = header in
+  let base_name =
+    match String.index_opt base_line ' ' with
+    | Some i when String.sub base_line 0 i = "base" ->
+      String.sub base_line (i + 1) (String.length base_line - i - 1)
+    | _ -> fail "malformed base line %S" base_line
+  in
+  let base_fingerprint =
+    try Scanf.sscanf fp_line "base-fingerprint %s" (fun x -> x)
+    with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+      fail "malformed base-fingerprint line %S" fp_line
+  in
+  let bounds =
+    try
+      Scanf.sscanf bounds_line
+        "bounds depth=%d pins=%d size=%d cap=%d fusion=%f classcap=%d"
+        (fun depth max_pins max_size max_gates fusion class_cap ->
+          { Superenum.depth; max_pins; max_size; max_gates; fusion; class_cap })
+    with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+      fail "malformed bounds line %S" bounds_line
+  in
+  let count =
+    try Scanf.sscanf count_line "supergates %d" (fun n -> n)
+    with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+      fail "malformed supergates line %S" count_line
+  in
+  let genlib_text = String.concat "\n" rest in
+  let supergates =
+    try
+      List.map (Gate.with_origin Gate.Super)
+        (Genlib_parser.parse_string ~file:"<sglib>" genlib_text)
+    with Genlib_parser.Syntax_error _ as e ->
+      fail "bad supergate genlib text: %s" (Genlib_parser.describe e)
+  in
+  if List.length supergates <> count then
+    fail "supergate count mismatch: header says %d, parsed %d" count
+      (List.length supergates);
+  { base_name; base_fingerprint; bounds; supergates }
+
+let write_file path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let augment ?(max_shapes = 8) (base : Libraries.t) t =
+  let fp = fingerprint base in
+  if not (String.equal fp t.base_fingerprint) then
+    fail
+      "stale supergate library: built from base %s (fingerprint %s), but \
+       library %s has fingerprint %s — regenerate it"
+      t.base_name t.base_fingerprint base.Libraries.lib_name fp;
+  Libraries.make ~max_shapes
+    (base.Libraries.lib_name ^ "+super")
+    (base.Libraries.gates @ t.supergates)

@@ -1,0 +1,52 @@
+(** Persistent supergate libraries (.sglib).
+
+    A versioned, checksummed text container for a generated supergate
+    set: a header naming the base library (with an FNV-1a-64
+    fingerprint of its genlib text) and the generation bounds, the
+    supergates as ordinary genlib text, and a trailing [END
+    <checksum>] line over every preceding byte. The format is
+    deterministic — {!to_string} of the same generation result is
+    byte-identical — so .sglib files can be diffed and cached.
+
+    Reading verifies the magic/version, the checksum and the gate
+    count, and retags the parsed gates
+    {!Dagmap_genlib.Gate.Super}; {!augment} verifies the base
+    fingerprint so a stale library (built against a different base)
+    is rejected instead of silently mis-mapping. *)
+
+open Dagmap_genlib
+
+exception Format_error of string
+(** Raised on malformed, corrupted, version-mismatched or stale
+    files. The message is self-explanatory. *)
+
+type t = {
+  base_name : string;
+  base_fingerprint : string;
+  bounds : Superenum.bounds;
+  supergates : Gate.t list;
+}
+
+val make :
+  ?bounds:Superenum.bounds ->
+  ?jobs:int ->
+  Libraries.t ->
+  t * Superenum.stats
+(** Generate ({!Superenum.generate}) and wrap with the base
+    library's name and fingerprint. *)
+
+val fingerprint : Libraries.t -> string
+(** FNV-1a-64 of the library's genlib text. *)
+
+val to_string : t -> string
+val of_string : string -> t
+
+val write_file : string -> t -> unit
+val read_file : string -> t
+
+val augment : ?max_shapes:int -> Libraries.t -> t -> Libraries.t
+(** [augment base t] is a library named ["<base>+super"] containing
+    the base gates followed by the supergates, with patterns
+    regenerated ([max_shapes] per gate, default 8 — supergate
+    formulas have many NAND2-INV decompositions). Raises
+    {!Format_error} when [t] was not generated from [base]. *)

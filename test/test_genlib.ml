@@ -82,6 +82,34 @@ let test_errors () =
   expect_error "FOO bar\n";
   expect_error "GATE trunc 1.0 O=a; PIN a INV 1 999 1\n"
 
+(* Errors carry the file, line and column of the offending token. *)
+let test_error_positions () =
+  let expect_pos ?file source eline ecol =
+    match Genlib_parser.parse_string ?file source with
+    | exception Genlib_parser.Syntax_error { file = f; line; col; _ } ->
+      check (Alcotest.option Alcotest.string) "file" file f;
+      check tint "line" eline line;
+      check tint "col" ecol col
+    | _ -> Alcotest.failf "expected syntax error on %S" source
+  in
+  (* Bad phase keyword on line 2, column 7. *)
+  expect_pos
+    "GATE inv 1.0 O=!a;\nPIN a WAT 1 999 0.5 0.1 0.5 0.1\n"
+    2 7;
+  (* Bad area number: the offending token is "xyz" at column 13. *)
+  expect_pos "GATE broken xyz O=a;\n" 1 13;
+  (* Stray toplevel token, with a file label. *)
+  expect_pos ~file:"cells.genlib"
+    "GATE inv 1.0 O=!a; PIN a INV 1 999 0.5 0.1 0.5 0.1\nFOO bar\n"
+    2 1;
+  (* describe renders file:line:col. *)
+  (match Genlib_parser.parse_string ~file:"x.genlib" "FOO\n" with
+   | exception (Genlib_parser.Syntax_error _ as e) ->
+     check tbool "describe mentions position" true
+       (String.length (Genlib_parser.describe e) > 0
+       && String.sub (Genlib_parser.describe e) 0 12 = "x.genlib:1:1")
+   | _ -> Alcotest.fail "expected syntax error")
+
 let test_print_parse_roundtrip () =
   let lib = Libraries.lib2_like () in
   let text = Genlib_parser.to_string lib.Libraries.gates in
@@ -164,6 +192,7 @@ let () =
           Alcotest.test_case "latch skipped" `Quick test_latch_skipped;
           Alcotest.test_case "pin defaults" `Quick test_no_pin_clause_defaults;
           Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "error positions" `Quick test_error_positions;
           Alcotest.test_case "roundtrip" `Quick test_print_parse_roundtrip ] );
       ( "libraries",
         [ Alcotest.test_case "builtins" `Quick test_builtin_libraries;

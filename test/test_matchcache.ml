@@ -122,6 +122,43 @@ let test_counters () =
     (Subject.pi_ids g);
   check tint "pi lookups uncounted" before (Matchdb.cache_lookups cache)
 
+(* reset_counters gives per-run stats over a shared (warm) cache:
+   after a reset, a second identical run reports only its own
+   lookups, and — with the table kept — reports them as all hits. *)
+let test_reset_counters () =
+  let g = cell_row 8 in
+  let db = Matchdb.prepare (Libraries.lib2_like ()) in
+  let fanouts = Subject.fanout_counts g in
+  let levels = Subject.levels g in
+  let cache = Matchdb.create_cache db in
+  let sweep () =
+    for node = 0 to Subject.num_nodes g - 1 do
+      match Subject.kind g node with
+      | Subject.Spi -> ()
+      | Subject.Snand _ | Subject.Sinv _ ->
+        ignore
+          (Matchdb.node_matches ~cache db Matcher.Standard g ~fanouts ~levels
+             node)
+    done
+  in
+  sweep ();
+  let run1_lookups = Matchdb.cache_lookups cache in
+  check tbool "first run looked things up" true (run1_lookups > 0);
+  Matchdb.reset_counters cache;
+  check tint "counters zeroed" 0
+    (Matchdb.cache_lookups cache + Matchdb.cache_hits cache
+    + Matchdb.cache_misses cache);
+  sweep ();
+  check tint "second run reports per-run lookups" run1_lookups
+    (Matchdb.cache_lookups cache);
+  check tint "second run is all hits (warm table kept)" run1_lookups
+    (Matchdb.cache_hits cache);
+  check tint "hits + misses = lookups after reset"
+    (Matchdb.cache_lookups cache)
+    (Matchdb.cache_hits cache + Matchdb.cache_misses cache);
+  check tbool "cache not retired by the good workload" false
+    (Matchdb.cache_retired cache)
+
 (* Full-mapper agreement: cached and uncached runs produce the same
    labels, delay and netlist size; stats record the cache activity. *)
 let test_mapper_cache_identical () =
@@ -230,7 +267,8 @@ let () =
           Alcotest.test_case "mapper agreement" `Quick
             test_mapper_cache_identical ] );
       ( "counters",
-        [ Alcotest.test_case "hit/miss bookkeeping" `Quick test_counters ] );
+        [ Alcotest.test_case "hit/miss bookkeeping" `Quick test_counters;
+          Alcotest.test_case "per-run reset" `Quick test_reset_counters ] );
       ( "differential",
         [ QCheck_alcotest.to_alcotest qc_differential;
           Alcotest.test_case "footnote 3: extended = dag" `Quick

@@ -1,0 +1,143 @@
+(* .sglib persistence: byte-exact round-trips, and clean Format_error
+   rejection of corrupted, truncated, version-mismatched and stale
+   files. *)
+
+open Dagmap_logic
+open Dagmap_genlib
+open Dagmap_super
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tstring = Alcotest.string
+
+let fast_bounds = { Superenum.default_bounds with max_pins = 4; max_size = 3 }
+
+let sample =
+  lazy (fst (Superlib.make ~bounds:fast_bounds (Libraries.lib44_1_like ())))
+
+let expect_format_error ?contains name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Format_error" name
+  | exception Superlib.Format_error msg ->
+    (match contains with
+     | None -> ()
+     | Some needle ->
+       let has =
+         let nl = String.length needle and ml = String.length msg in
+         let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+         go 0
+       in
+       check tbool
+         (Printf.sprintf "%s: message %S mentions %S" name msg needle)
+         true has)
+
+(* write -> read -> identical gate list, and re-serialization is
+   byte-identical (the determinism the on-disk cache relies on). *)
+let test_roundtrip () =
+  let t = Lazy.force sample in
+  let path = Filename.temp_file "sglib" ".sglib" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Superlib.write_file path t;
+      let back = Superlib.read_file path in
+      check tstring "base name" t.Superlib.base_name back.Superlib.base_name;
+      check tstring "fingerprint" t.Superlib.base_fingerprint
+        back.Superlib.base_fingerprint;
+      check tbool "bounds" true (t.Superlib.bounds = back.Superlib.bounds);
+      check tint "gate count"
+        (List.length t.Superlib.supergates)
+        (List.length back.Superlib.supergates);
+      List.iter2
+        (fun a b ->
+          check tstring "gate name" a.Gate.gate_name b.Gate.gate_name;
+          check (Alcotest.float 0.0) "area" a.Gate.area b.Gate.area;
+          check tbool "function" true (Truth.equal a.Gate.func b.Gate.func);
+          check tbool "origin Super" true (Gate.is_super b);
+          check tint "pins" (Gate.num_pins a) (Gate.num_pins b);
+          Array.iteri
+            (fun i _ ->
+              check (Alcotest.float 0.0)
+                (Printf.sprintf "%s pin %d delay" a.Gate.gate_name i)
+                (Gate.intrinsic_delay a i) (Gate.intrinsic_delay b i))
+            a.Gate.pins)
+        t.Superlib.supergates back.Superlib.supergates;
+      check tbool "re-serialization byte-identical" true
+        (String.equal (Superlib.to_string t) (Superlib.to_string back)))
+
+(* An empty supergate set still round-trips. *)
+let test_roundtrip_empty () =
+  let t, _ =
+    Superlib.make
+      ~bounds:{ Superenum.default_bounds with max_gates = 0 }
+      (Libraries.minimal ())
+  in
+  check tint "no gates" 0 (List.length t.Superlib.supergates);
+  let back = Superlib.of_string (Superlib.to_string t) in
+  check tint "still no gates" 0 (List.length back.Superlib.supergates)
+
+let test_rejects_corruption () =
+  let text = Superlib.to_string (Lazy.force sample) in
+  (* Flip one character inside the gate section. *)
+  let i =
+    let rec find i =
+      if i + 4 > String.length text then Alcotest.fail "no GATE line"
+      else if String.sub text i 4 = "GATE" then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let corrupted = Bytes.of_string text in
+  Bytes.set corrupted i 'X';
+  expect_format_error ~contains:"checksum" "flipped byte" (fun () ->
+      Superlib.of_string (Bytes.to_string corrupted));
+  (* Truncation loses the END line entirely. *)
+  expect_format_error ~contains:"END" "truncated" (fun () ->
+      Superlib.of_string (String.sub text 0 (String.length text / 2)));
+  (* Garbage after the END line. *)
+  expect_format_error "trailing garbage" (fun () ->
+      Superlib.of_string (text ^ "more\n"));
+  expect_format_error "empty" (fun () -> Superlib.of_string "")
+
+(* The version line gates everything else (a future version may
+   change the checksum itself), so a version mismatch is reported
+   as such even though the edit also breaks the checksum. *)
+let test_rejects_versions () =
+  let text = Superlib.to_string (Lazy.force sample) in
+  let nl = String.index text '\n' in
+  let rest = String.sub text nl (String.length text - nl) in
+  expect_format_error ~contains:"version" "future version" (fun () ->
+      Superlib.of_string ("SGLIB 9" ^ rest));
+  expect_format_error ~contains:"magic" "bad magic" (fun () ->
+      Superlib.of_string ("NOTSG 1" ^ rest))
+
+(* A library generated from one base must refuse to augment another:
+   fingerprint mismatch is a Format_error, not silence. *)
+let test_rejects_stale_base () =
+  let t = Lazy.force sample in
+  check tbool "matching base accepted" true
+    (let aug = Superlib.augment (Libraries.lib44_1_like ()) t in
+     List.length aug.Libraries.gates
+     = List.length (Libraries.lib44_1_like ()).Libraries.gates
+       + List.length t.Superlib.supergates);
+  expect_format_error ~contains:"stale" "wrong base" (fun () ->
+      Superlib.augment (Libraries.lib2_like ()) t)
+
+let test_fingerprint_sensitivity () =
+  let a = Superlib.fingerprint (Libraries.lib44_1_like ()) in
+  let b = Superlib.fingerprint (Libraries.lib2_like ()) in
+  check tbool "fingerprints differ across libraries" true (not (String.equal a b));
+  check tstring "fingerprint stable" a
+    (Superlib.fingerprint (Libraries.lib44_1_like ()))
+
+let () =
+  Alcotest.run "superlib"
+    [ ( "roundtrip",
+        [ Alcotest.test_case "write/read identical" `Quick test_roundtrip;
+          Alcotest.test_case "empty set" `Quick test_roundtrip_empty;
+          Alcotest.test_case "fingerprint" `Quick test_fingerprint_sensitivity ] );
+      ( "rejection",
+        [ Alcotest.test_case "corruption" `Quick test_rejects_corruption;
+          Alcotest.test_case "versions" `Quick test_rejects_versions;
+          Alcotest.test_case "stale base" `Quick test_rejects_stale_base ] ) ]

@@ -57,6 +57,12 @@ let load_library spec =
 
 type any_mode = Pattern_mode of Mapper.mode | Cut_mode
 
+let resolve_jobs = function
+  | Some 0 -> Parmap.recommended_jobs ()
+  | Some j when j >= 1 -> j
+  | Some j -> failwith (Printf.sprintf "--jobs %d: want >= 1 (0 = auto)" j)
+  | None -> 1
+
 let mode_of_string = function
   | "tree" -> Pattern_mode Mapper.Tree
   | "dag" -> Pattern_mode Mapper.Dag
@@ -134,13 +140,7 @@ let run_map circuit lib_spec super_file mode_s opt recover buffer out_file veril
   Printf.printf "library %s: %d gates, %d patterns\n" lib.Libraries.lib_name
     (List.length lib.Libraries.gates)
     (List.length lib.Libraries.patterns);
-  let jobs =
-    match jobs with
-    | Some 0 -> Parmap.recommended_jobs ()
-    | Some j when j >= 1 -> j
-    | Some j -> failwith (Printf.sprintf "--jobs %d: want >= 1 (0 = auto)" j)
-    | None -> 1
-  in
+  let jobs = resolve_jobs jobs in
   let cache = not no_cache in
   let t0 = Unix.gettimeofday () in
   let mode_name, nl, pattern_result, par_stats =
@@ -222,6 +222,124 @@ let run_map circuit lib_spec super_file mode_s opt recover buffer out_file veril
     Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* check / fuzz                                                        *)
+(* ------------------------------------------------------------------ *)
+
+open Dagmap_check
+
+let run_check circuit lib_spec super_file mode_s jobs no_cache =
+  let net = load_circuit circuit in
+  let lib = load_library lib_spec in
+  let lib =
+    match super_file with
+    | None -> lib
+    | Some path -> Superlib.augment lib (Superlib.read_file path)
+  in
+  let db = Matchdb.prepare lib in
+  let mode =
+    match mode_of_string mode_s with
+    | Pattern_mode m -> m
+    | Cut_mode -> failwith "check supports pattern modes only"
+  in
+  let jobs = resolve_jobs jobs in
+  let cache = not no_cache in
+  let sg = Subject.of_network net in
+  Printf.printf "circuit %s: %s\n" circuit (Subject.stats sg);
+  let result =
+    if jobs > 1 then fst (Parmap.map ~jobs ~cache mode db sg)
+    else Mapper.map ~cache mode db sg
+  in
+  let nl = result.Mapper.netlist in
+  Printf.printf "%s mapping: delay=%.2f area=%.0f gates=%d\n"
+    (Mapper.mode_name mode) (Netlist.delay nl) (Netlist.area nl)
+    (Netlist.num_gates nl);
+  let failed = ref false in
+  let section name issues =
+    match issues with
+    | [] -> Printf.printf "%-10s ok\n" name
+    | issues ->
+      failed := true;
+      List.iter
+        (fun i ->
+          Printf.printf "%-10s %s\n" name
+            (Format.asprintf "%a" Check.pp_issue i))
+        issues
+  in
+  let s = Check.structural nl in
+  section "structural" s;
+  if s = [] then begin
+    (* Timing and simulation are undefined on a malformed netlist. *)
+    section "delay"
+      (Check.delay ~predicted:(Mapper.predicted_arrivals result) nl);
+    section "functional" (Check.functional sg nl)
+  end
+  else Printf.printf "delay/functional audits skipped (structural failure)\n";
+  if !failed then exit 2
+
+let fuzz_super_bounds =
+  { Superenum.default_bounds with
+    Superenum.depth = 2;
+    max_pins = 4;
+    max_size = 3;
+    max_gates = 48 }
+
+let run_fuzz count seed nodes lib_spec no_super max_failures repro_dir
+    inject verbose =
+  let base = load_library lib_spec in
+  let libs =
+    if no_super then [ ("base", base) ]
+    else begin
+      let sgl, _ = Superlib.make ~bounds:fuzz_super_bounds ~jobs:2 base in
+      Printf.printf "fuzz: +%d supergates over %s for the super cases\n"
+        (List.length sgl.Superlib.supergates)
+        base.Libraries.lib_name;
+      [ ("base", base); ("super", Superlib.augment base sgl) ]
+    end
+  in
+  let cfg =
+    { (Fuzz.default_config base) with
+      Fuzz.count; seed; max_nodes = nodes; libs; max_failures }
+  in
+  if inject then Mapper.test_pin_delay_skew := 1.0;
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> Mapper.test_pin_delay_skew := 0.0)
+      (fun () ->
+        Fuzz.run
+          ~log:(fun line ->
+            if verbose || contains line "FAIL" then print_endline line)
+          cfg)
+  in
+  Printf.printf "fuzz: %d circuits, %d (circuit, config) cases audited\n"
+    outcome.Fuzz.circuits outcome.Fuzz.cases;
+  match outcome.Fuzz.failures with
+  | [] -> Printf.printf "fuzz: all audits passed\n"
+  | failures ->
+    List.iteri
+      (fun k f ->
+        let path =
+          Filename.concat repro_dir
+            (Printf.sprintf "fuzz_repro_%d_%d.blif" cfg.Fuzz.seed k)
+        in
+        Fuzz.write_repro path f;
+        Printf.printf
+          "fuzz: circuit %d under %s FAILED (shrunk %d -> %d nodes), repro \
+           %s\n"
+          f.Fuzz.circuit f.Fuzz.case_name f.Fuzz.original_nodes
+          f.Fuzz.shrunk_nodes path;
+        List.iter
+          (fun i ->
+            Printf.printf "  %s\n" (Format.asprintf "%a" Check.pp_issue i))
+          f.Fuzz.issues)
+      failures;
+    exit 2
+
+(* ------------------------------------------------------------------ *)
 (* superlib                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -236,13 +354,7 @@ let run_superlib lib_spec out depth pins size cap fusion class_cap jobs
       fusion;
       class_cap }
   in
-  let jobs =
-    match jobs with
-    | Some 0 -> Parmap.recommended_jobs ()
-    | Some j when j >= 1 -> j
-    | Some j -> failwith (Printf.sprintf "--jobs %d: want >= 1 (0 = auto)" j)
-    | None -> 1
-  in
+  let jobs = resolve_jobs jobs in
   let sgl, stats = Superlib.make ~bounds ~jobs base in
   Superlib.write_file out sgl;
   Printf.printf "superlib: %d supergates from %s (%d base gates) -> %s\n"
@@ -421,6 +533,8 @@ let wrap f =
   | Failure m | Invalid_argument m -> `Error (false, m)
   | Genlib_parser.Syntax_error _ as e ->
     `Error (false, Genlib_parser.describe e)
+  | Dagmap_blif.Blif.Parse_error _ as e ->
+    `Error (false, Dagmap_blif.Blif.describe e)
   | Superlib.Format_error m -> `Error (false, m)
   | Sys_error m -> `Error (false, m)
 
@@ -497,6 +611,109 @@ let map_cmd =
         $ show_stats $ no_cache))
   in
   Cmd.v (Cmd.info "map" ~doc:"Map a circuit onto a gate library.") term
+
+let check_cmd =
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Label with N domains in parallel (0 = one per core).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Disable the structural match cache.")
+  in
+  let super_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "super" ] ~docv:"FILE"
+          ~doc:"Augment the library with an .sglib supergate file.")
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun c l sf m j nc -> wrap (fun () -> run_check c l sf m j nc))
+        $ circuit_arg $ lib_arg $ super_file $ mode_arg $ jobs $ no_cache))
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Map a circuit and run the full verification layer on the result: \
+          structural lint, per-output delay audit against the mapper's \
+          predicted labels, and random-simulation equivalence. Exits 2 on \
+          any audit failure.")
+    term
+
+let fuzz_cmd =
+  let count =
+    Arg.(
+      value & opt int 25
+      & info [ "count" ] ~docv:"N" ~doc:"Number of random circuits.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"S" ~doc:"Base seed (deterministic sweep).")
+  in
+  let nodes =
+    Arg.(
+      value & opt int 60
+      & info [ "nodes" ] ~docv:"K" ~doc:"Circuit sizes cycle below K nodes.")
+  in
+  let no_super =
+    Arg.(
+      value & flag
+      & info [ "no-super" ]
+          ~doc:
+            "Skip the supergate-augmented library cases (by default a small \
+             depth-2 supergate library is generated in-process).")
+  in
+  let max_failures =
+    Arg.(
+      value & opt int 4
+      & info [ "max-failures" ] ~docv:"N"
+          ~doc:"Stop after N failing cases have been shrunk.")
+  in
+  let repro_dir =
+    Arg.(
+      value & opt string "."
+      & info [ "repro-dir" ] ~docv:"DIR"
+          ~doc:"Where to write fuzz_repro_*.blif files.")
+  in
+  let inject =
+    Arg.(
+      value & flag
+      & info [ "inject-delay-bug" ]
+          ~doc:
+            "Testing hook: skew every pin delay seen by the labeling pass \
+             by +1.0 so the delay audit must fail — proves the harness \
+             catches and shrinks a labeling bug.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ] ~doc:"Print one progress line per circuit.")
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun c s n l ns mf rd i v ->
+             wrap (fun () -> run_fuzz c s n l ns mf rd i v))
+        $ count $ seed $ nodes $ lib_arg $ no_super $ max_failures
+        $ repro_dir $ inject $ verbose))
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzz of the whole mapper: map seeded random \
+          circuits under every mode x jobs x cache x library \
+          configuration, run the three audits on each result, and shrink \
+          any failure to a minimal BLIF repro. Exits 2 when a failure is \
+          found.")
+    term
 
 let superlib_cmd =
   let lib_pos =
@@ -635,5 +852,5 @@ let () =
   let doc = "delay-optimal technology mapping by DAG covering" in
   let info = Cmd.info "techmap" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-          [ map_cmd; superlib_cmd; fpga_cmd; retime_cmd; compare_cmd;
-            libs_cmd; circuits_cmd ]))
+          [ map_cmd; check_cmd; fuzz_cmd; superlib_cmd; fpga_cmd; retime_cmd;
+            compare_cmd; libs_cmd; circuits_cmd ]))

@@ -3,10 +3,17 @@ open Dagmap_genlib
 open Dagmap_subject
 open Dagmap_core
 
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { file : string option; line : int; message : string }
 
-let error line fmt =
-  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+let error ?file line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { file; line; message })) fmt
+
+let describe = function
+  | Parse_error { file; line; message } ->
+    Printf.sprintf "%s:%d: %s"
+      (Option.value ~default:"<string>" file)
+      line message
+  | e -> Printexc.to_string e
 
 (* ------------------------------------------------------------------ *)
 (* Reader                                                              *)
@@ -63,7 +70,7 @@ type raw_latch = {
   rl_init : bool;
 }
 
-let parse_structure lines =
+let parse_structure ?file lines =
   let model = ref "blif" in
   let inputs = ref [] and outputs = ref [] in
   let names : raw_names list ref = ref [] in
@@ -78,9 +85,11 @@ let parse_structure lines =
         finish_current ();
         match cmd, args with
         | ".model", [ m ] -> model := m
-        | ".model", _ -> error line "malformed .model"
-        | ".inputs", args -> inputs := !inputs @ args
-        | ".outputs", args -> outputs := !outputs @ args
+        | ".model", _ -> error ?file line "malformed .model"
+        | ".inputs", args ->
+          inputs := !inputs @ List.map (fun a -> (line, a)) args
+        | ".outputs", args ->
+          outputs := !outputs @ List.map (fun a -> (line, a)) args
         | ".names", args -> begin
           match List.rev args with
           | out :: rev_ins ->
@@ -90,7 +99,7 @@ let parse_structure lines =
             in
             names := rn :: !names;
             current := Some rn
-          | [] -> error line ".names needs at least an output"
+          | [] -> error ?file line ".names needs at least an output"
         end
         | ".latch", (input :: output :: rest) ->
           let init =
@@ -102,45 +111,41 @@ let parse_structure lines =
             { rl_line = line; rl_input = input; rl_output = output;
               rl_init = init }
             :: !latches
-        | ".latch", _ -> error line "malformed .latch"
+        | ".latch", _ -> error ?file line "malformed .latch"
         | ".end", _ -> ()
-        | ".exdc", _ -> error line ".exdc is not supported"
+        | ".exdc", _ -> error ?file line ".exdc is not supported"
         | _, _ ->
           (* Unknown dot-commands (.clock, .default_input_arrival...)
              are ignored, as SIS does for unknown extensions. *)
           ()
       end
-      | [ cube; out ] when !current <> None -> begin
-        match !current with
-        | Some rn ->
+      | ws -> begin
+        match !current, ws with
+        | Some rn, [ cube; out ] ->
           if String.length out <> 1 || (out.[0] <> '0' && out.[0] <> '1') then
-            error line "cube output must be 0 or 1";
+            error ?file line "cube output must be 0 or 1 in %S" text;
           rn.rn_cubes <- (cube, out.[0]) :: rn.rn_cubes
-        | None -> assert false
-      end
-      | [ single ] when !current <> None -> begin
-        (* Constant: a .names with no inputs has cubes of just "1"/"0". *)
-        match !current with
-        | Some rn ->
-          if rn.rn_inputs <> [] then begin
-            (* A one-column line for a single-input function: "1 "? No:
-               must be cube+output; treat as error. *)
-            error line "malformed cube line %S" single
-          end
+        | Some rn, [ single ] ->
+          (* Constant: a .names with no inputs has cubes of just "1"/"0". *)
+          if rn.rn_inputs <> [] then
+            error ?file line
+              "cube line %S needs both an input part and an output value"
+              single
           else if single = "1" then rn.rn_cubes <- ("", '1') :: rn.rn_cubes
           else if single = "0" then rn.rn_cubes <- ("", '0') :: rn.rn_cubes
-          else error line "malformed constant line %S" single
-        | None -> assert false
-      end
-      | _ -> error line "unexpected line %S" text)
+          else error ?file line "malformed constant line %S" single
+        | Some _, _ -> error ?file line "malformed cube line %S" text
+        | None, _ ->
+          error ?file line "unexpected line %S outside a .names block" text
+      end)
     lines;
   (!model, !inputs, !outputs, List.rev !names, List.rev !latches)
 
-let expr_of_cubes rn =
+let expr_of_cubes ?file rn =
   let arity = List.length rn.rn_inputs in
   let cube_expr (cube, _) =
     if String.length cube <> arity then
-      error rn.rn_line "cube width %d does not match %d inputs"
+      error ?file rn.rn_line "cube width %d does not match %d inputs"
         (String.length cube) arity;
     let lits = ref [] in
     String.iteri
@@ -149,7 +154,7 @@ let expr_of_cubes rn =
         | '1' -> lits := (i, true) :: !lits
         | '0' -> lits := (i, false) :: !lits
         | '-' -> ()
-        | c -> error rn.rn_line "bad cube character %C" c)
+        | c -> error ?file rn.rn_line "bad cube character %C" c)
       cube;
     List.rev !lits
   in
@@ -160,24 +165,24 @@ let expr_of_cubes rn =
     (match zeros, ones with
      | [], ones -> Bexpr.of_cubes (List.map cube_expr ones)
      | zeros, [] -> Bexpr.not_ (Bexpr.of_cubes (List.map cube_expr zeros))
-     | _ -> error rn.rn_line "mixed on-set and off-set cubes")
+     | _ -> error ?file rn.rn_line "mixed on-set and off-set cubes")
 
-let read_string source =
+let read_string ?file source =
   let model, inputs, outputs, names, latches =
-    parse_structure (logical_lines source)
+    parse_structure ?file (logical_lines source)
   in
   let net = Network.create ~name:model () in
   let id_of = Hashtbl.create 64 in
   List.iter
-    (fun pi ->
-      if Hashtbl.mem id_of pi then failwith ("duplicate input " ^ pi);
+    (fun (line, pi) ->
+      if Hashtbl.mem id_of pi then error ?file line "duplicate input %s" pi;
       Hashtbl.replace id_of pi (Network.add_pi net pi))
     inputs;
   let by_output = Hashtbl.create 64 in
   List.iter
     (fun rn ->
       if Hashtbl.mem by_output rn.rn_output then
-        error rn.rn_line "signal %s defined twice" rn.rn_output;
+        error ?file rn.rn_line "signal %s defined twice" rn.rn_output;
       Hashtbl.replace by_output rn.rn_output rn)
     names;
   (* Latch outputs are combinational leaves; create them up front so
@@ -186,40 +191,46 @@ let read_string source =
   List.iter
     (fun rl ->
       if Hashtbl.mem id_of rl.rl_output then
-        error rl.rl_line "latch output %s already defined" rl.rl_output;
+        error ?file rl.rl_line "latch output %s already defined" rl.rl_output;
       let id =
         Network.add_latch_output net ~name:rl.rl_output ~init:rl.rl_init ()
       in
       Hashtbl.replace id_of rl.rl_output id)
     latches;
   let visiting = Hashtbl.create 64 in
-  let rec elaborate name =
+  (* [line] is the location of the construct referencing [name], so an
+     undefined signal is reported where it is used. *)
+  let rec elaborate line name =
     match Hashtbl.find_opt id_of name with
     | Some id -> id
     | None -> begin
       match Hashtbl.find_opt by_output name with
-      | None -> failwith (Printf.sprintf "undefined signal %s" name)
+      | None -> error ?file line "undefined signal %s" name
       | Some rn ->
         if Hashtbl.mem visiting name then
-          error rn.rn_line "combinational cycle through %s" name;
+          error ?file rn.rn_line "combinational cycle through %s" name;
         Hashtbl.replace visiting name ();
-        let fanins = Array.of_list (List.map elaborate rn.rn_inputs) in
-        let expr = expr_of_cubes rn in
+        let fanins =
+          Array.of_list (List.map (elaborate rn.rn_line) rn.rn_inputs)
+        in
+        let expr = expr_of_cubes ?file rn in
         let id = Network.add_logic net ~name expr fanins in
         Hashtbl.remove visiting name;
         Hashtbl.replace id_of name id;
         id
     end
   in
-  List.iter (fun po -> ignore (elaborate po)) outputs;
+  List.iter (fun (line, po) -> ignore (elaborate line po)) outputs;
   List.iter
     (fun rl ->
-      let data_id = elaborate rl.rl_input in
+      let data_id = elaborate rl.rl_line rl.rl_input in
       Network.set_latch_input net
         ~latch_output:(Hashtbl.find id_of rl.rl_output)
         data_id)
     latches;
-  List.iter (fun po -> Network.add_po net po (Hashtbl.find id_of po)) outputs;
+  List.iter
+    (fun (_, po) -> Network.add_po net po (Hashtbl.find id_of po))
+    outputs;
   Network.validate net;
   net
 
@@ -228,7 +239,7 @@ let read_file path =
   let len = in_channel_length ic in
   let source = really_input_string ic len in
   close_in ic;
-  read_string source
+  read_string ~file:path source
 
 (* ------------------------------------------------------------------ *)
 (* Writers                                                             *)

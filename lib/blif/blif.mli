@@ -10,10 +10,22 @@
 open Dagmap_logic
 open Dagmap_core
 
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { file : string option; line : int; message : string }
+(** Every reader diagnostic — malformed constructs, bad cubes,
+    duplicate or undefined signals, combinational cycles — carries
+    the 1-based source line and, when reading a file, its name. *)
 
-val read_string : string -> Network.t
+val describe : exn -> string
+(** Render a {!Parse_error} as ["file:line: message"] (["<string>"]
+    when parsing an in-memory string), any other exception via
+    [Printexc]. Mirrors {!Dagmap_genlib.Genlib_parser.describe}. *)
+
+val read_string : ?file:string -> string -> Network.t
+(** Parse BLIF source text. Raises {!Parse_error}; [file] only
+    decorates the diagnostics. *)
+
 val read_file : string -> Network.t
+(** Like {!read_string}, with errors carrying the file name. *)
 
 val write_network : Network.t -> string
 (** Logic nodes are emitted as minterm covers of their expressions. *)

@@ -33,17 +33,29 @@ type result = {
   run : stats;
 }
 
+(* Fault-injection hook for the check layer: added to every pin delay
+   the labeling pass sees, so predictions drift from the netlist's
+   STA and the delay audit must fire. 0.0 outside those tests. *)
+let test_pin_delay_skew = ref 0.0
+
 (* Arrival time a match would realize given the labels of its pin
-   nodes: max over used pins of label + intrinsic pin delay. *)
+   nodes: max over used pins of label + intrinsic pin delay. A match
+   using no pins at all (a constant gate) is available at time 0.
+   Starting from neg_infinity rather than 0 keeps negative labels
+   meaningful — with latch-injected [pi_arrival] values a pin arriving
+   before 0 must not be clamped. *)
 let match_arrival labels (m : Matcher.mtch) =
   let g = Matcher.gate m in
-  let worst = ref 0.0 in
+  let worst = ref neg_infinity in
   Array.iteri
     (fun pin node ->
       if node >= 0 then
-        worst := Float.max !worst (labels.(node) +. Gate.intrinsic_delay g pin))
+        worst :=
+          Float.max !worst
+            (labels.(node) +. Gate.intrinsic_delay g pin
+            +. !test_pin_delay_skew))
     m.Matcher.pins;
-  !worst
+  if !worst = neg_infinity then 0.0 else !worst
 
 (* Strictly-better comparison: smaller arrival, then smaller area,
    then fewer gate pins (cheapest equivalent). *)
@@ -197,3 +209,10 @@ let optimal_delay r =
   List.fold_left
     (fun acc o -> Float.max acc r.labels.(o.Subject.out_node))
     0.0 r.netlist.Netlist.source.Subject.outputs
+
+let predicted_arrivals r =
+  let g = r.netlist.Netlist.source in
+  List.map
+    (fun o -> (o.Subject.out_name, r.labels.(o.Subject.out_node)))
+    g.Subject.outputs
+  @ List.map (fun (name, _) -> (name, 0.0)) g.Subject.const_outputs

@@ -102,3 +102,16 @@ val cover : Subject.t -> Matcher.mtch option array -> Netlist.t
 val optimal_delay : result -> float
 (** Worst label over the subject outputs (equals
     [Netlist.delay result.netlist]; the test suite asserts this). *)
+
+val predicted_arrivals : result -> (string * float) list
+(** Per-output predicted arrival: each subject output paired with the
+    label of its driving node (constant outputs arrive at 0). Under
+    the intrinsic delay model these must equal the mapped netlist's
+    STA arrivals output-by-output — the {!Dagmap_check} delay audit
+    asserts exactly this. *)
+
+val test_pin_delay_skew : float ref
+(** Fault-injection hook for the verification layer's own tests: a
+    delay added to every pin delay seen by {e labeling only}, so
+    predictions drift from the netlist's true arrivals. Must be [0.0]
+    (the default) outside check-layer tests. *)

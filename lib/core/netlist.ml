@@ -27,24 +27,37 @@ let area nl =
 let num_gates nl = Array.length nl.instances
 
 (* Instances are not necessarily stored topologically (cover
-   construction emits them outputs-first), so order them explicitly. *)
+   construction emits them outputs-first), so order them explicitly.
+   Explicit stack: instance chains can be deeper than the OCaml call
+   stack allows. A gray (pre- but not post-visited) fanin seen while
+   expanding a node is a back edge, i.e. a cycle. *)
 let topological_instances nl =
   let n = Array.length nl.instances in
   let state = Array.make n 0 in
   let order = ref [] in
-  let rec visit i =
-    if state.(i) = 1 then failwith "Netlist: instance cycle";
-    if state.(i) = 0 then begin
-      state.(i) <- 1;
-      Array.iter
-        (function D_gate j -> visit j | D_pi _ | D_const _ -> ())
-        nl.instances.(i).inputs;
-      state.(i) <- 2;
-      order := i :: !order
+  let stack = Stack.create () in
+  for root = 0 to n - 1 do
+    if state.(root) = 0 then begin
+      Stack.push (root, false) stack;
+      while not (Stack.is_empty stack) do
+        let i, post = Stack.pop stack in
+        if post then begin
+          state.(i) <- 2;
+          order := i :: !order
+        end
+        else if state.(i) = 0 then begin
+          state.(i) <- 1;
+          Stack.push (i, true) stack;
+          Array.iter
+            (function
+              | D_gate j ->
+                if state.(j) = 1 then failwith "Netlist: instance cycle"
+                else if state.(j) = 0 then Stack.push (j, false) stack
+              | D_pi _ | D_const _ -> ())
+            nl.instances.(i).inputs
+        end
+      done
     end
-  in
-  for i = 0 to n - 1 do
-    visit i
   done;
   List.rev !order
 
@@ -130,7 +143,9 @@ let max_fanout nl =
   List.iter (fun (_, d) -> bump d) nl.outputs;
   Hashtbl.fold (fun _ c acc -> max c acc) counts 0
 
-let validate nl =
+let lint nl =
+  let issues = ref [] in
+  let report fmt = Printf.ksprintf (fun m -> issues := m :: !issues) fmt in
   let n = Array.length nl.instances in
   let pi_set = Hashtbl.create 16 in
   List.iter (fun id -> Hashtbl.replace pi_set id ()) (Subject.pi_ids nl.source);
@@ -138,22 +153,33 @@ let validate nl =
     | D_const _ -> ()
     | D_pi id ->
       if not (Hashtbl.mem pi_set id) then
-        failwith (Printf.sprintf "%s: D_pi %d is not a subject PI" context id)
+        report "%s: D_pi %d is not a subject PI" context id
     | D_gate j ->
-      if j < 0 || j >= n then
-        failwith (Printf.sprintf "%s: D_gate %d out of range" context j)
+      if j < 0 || j >= n then report "%s: D_gate %d out of range" context j
   in
   Array.iteri
     (fun idx inst ->
-      if inst.inst_id <> idx then failwith "Netlist: inst_id mismatch";
+      if inst.inst_id <> idx then
+        report "instance %d: inst_id %d does not match its index" idx
+          inst.inst_id;
       if Array.length inst.inputs <> Gate.num_pins inst.gate then
-        failwith
-          (Printf.sprintf "instance %d (%s): pin count mismatch" idx
-             inst.gate.Gate.gate_name);
+        report "instance %d (%s): %d inputs for a %d-pin gate" idx
+          inst.gate.Gate.gate_name
+          (Array.length inst.inputs)
+          (Gate.num_pins inst.gate);
       Array.iter (check_driver (Printf.sprintf "instance %d" idx)) inst.inputs)
     nl.instances;
   List.iter (fun (name, d) -> check_driver ("output " ^ name) d) nl.outputs;
-  ignore (topological_instances nl)
+  (* Cycle check only once the drivers are known to be in range. *)
+  if !issues = [] then begin
+    match topological_instances nl with
+    | (_ : int list) -> ()
+    | exception Failure m -> report "%s" m
+  end;
+  List.rev !issues
+
+let validate nl =
+  match lint nl with [] -> () | issue :: _ -> failwith issue
 
 let pp_report ppf nl =
   Format.fprintf ppf "gates=%d area=%.0f delay=%.2f duplicated=%d@\n"

@@ -55,9 +55,18 @@ val eval : t -> bool array -> (string * bool) list
 val max_fanout : t -> int
 (** Largest fanout of any instance or PI in the mapped circuit. *)
 
+val lint : t -> string list
+(** Structural checks, collecting every violation instead of stopping
+    at the first: instance ids match their indices, pin counts match
+    the gate, driver indices in range, PI drivers are subject PIs,
+    instance graph acyclic. Returns [[]] on a well-formed netlist.
+    The {!Dagmap_check} layer builds its structural audit on top of
+    this. *)
+
 val validate : t -> unit
 (** Structural checks: pins all driven, instance graph acyclic,
-    driver indices in range. Raises [Failure] on violation. *)
+    driver indices in range. Raises [Failure] with the first
+    {!lint} issue on violation. *)
 
 val pp_report : Format.formatter -> t -> unit
 (** Human-readable summary (delay, area, gate counts). *)

@@ -9,25 +9,34 @@ let lane_inputs words lane =
     words
 
 let compare_round words r1 r2 =
+  let index results =
+    let tbl = Hashtbl.create (2 * List.length results + 1) in
+    List.iter
+      (fun (name, w) ->
+        if not (Hashtbl.mem tbl name) then Hashtbl.add tbl name w)
+      results;
+    tbl
+  in
+  let tbl1 = index r1 and tbl2 = index r2 in
+  (* Missing and extra are computed independently: an extra output in
+     [r2] is a mismatch even when every output of [r1] is present. *)
   let missing =
     List.filter_map
-      (fun (name, _) ->
-        if List.mem_assoc name r2 then None else Some name)
+      (fun (name, _) -> if Hashtbl.mem tbl2 name then None else Some name)
       r1
   in
-  if missing <> [] then
-    let extra =
-      List.filter_map
-        (fun (name, _) ->
-          if List.mem_assoc name r1 then None else Some name)
-        r2
-    in
+  let extra =
+    List.filter_map
+      (fun (name, _) -> if Hashtbl.mem tbl1 name then None else Some name)
+      r2
+  in
+  if missing <> [] || extra <> [] then
     Some (Output_mismatch { missing; extra })
   else
     let rec check = function
       | [] -> None
       | (name, w1) :: rest ->
-        let w2 = List.assoc name r2 in
+        let w2 = Hashtbl.find tbl2 name in
         if Int64.equal w1 w2 then check rest
         else begin
           let diff = Int64.logxor w1 w2 in

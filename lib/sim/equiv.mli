@@ -20,8 +20,11 @@ val compare_sims :
 (** [compare_sims ~n_inputs sim1 sim2] drives both simulators with
     the same random words for [rounds] (default 16) rounds of 64
     assignments each, plus the all-zero and all-one assignments.
-    [sim2] may produce extra outputs; every output of [sim1] must be
-    present and agree. *)
+    The two simulators must produce the same output-name sets —
+    an output present on only one side is reported as
+    {!Output_mismatch} ([missing] = outputs of [sim1] absent from
+    [sim2], [extra] = outputs of [sim2] absent from [sim1]) — and
+    every shared output must agree on every lane. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit
 

@@ -88,19 +88,36 @@ let netlist nl inputs =
     | Netlist.D_gate j -> value.(j)
   in
   (* Instances may be stored in any order; resolve dependencies with
-     an explicit stack to stay safe on deep netlists. *)
-  let rec compute i =
-    if not computed.(i) then begin
-      Array.iter
-        (function Netlist.D_gate j -> compute j | Netlist.D_pi _ | Netlist.D_const _ -> ())
-        nl.Netlist.instances.(i).Netlist.inputs;
-      let words = Array.map driver_value nl.Netlist.instances.(i).Netlist.inputs in
-      value.(i) <- eval_gate_word nl.Netlist.instances.(i).Netlist.gate.Dagmap_genlib.Gate.func words;
-      computed.(i) <- true
-    end
+     an explicit stack to stay safe on deep netlists. Popping an
+     instance whose fanins are all computed evaluates it; otherwise
+     it is re-pushed below its uncomputed fanins. *)
+  let stack = Stack.create () in
+  let eval_instance i =
+    let words = Array.map driver_value nl.Netlist.instances.(i).Netlist.inputs in
+    value.(i) <- eval_gate_word nl.Netlist.instances.(i).Netlist.gate.Dagmap_genlib.Gate.func words;
+    computed.(i) <- true
   in
-  for i = 0 to n - 1 do
-    compute i
+  for root = 0 to n - 1 do
+    if not computed.(root) then begin
+      Stack.push root stack;
+      while not (Stack.is_empty stack) do
+        let i = Stack.pop stack in
+        if not computed.(i) then begin
+          let pending = ref false in
+          Array.iter
+            (function
+              | Netlist.D_gate j when not computed.(j) ->
+                if not !pending then begin
+                  pending := true;
+                  Stack.push i stack
+                end;
+                Stack.push j stack
+              | Netlist.D_gate _ | Netlist.D_pi _ | Netlist.D_const _ -> ())
+            nl.Netlist.instances.(i).Netlist.inputs;
+          if not !pending then eval_instance i
+        end
+      done
+    end
   done;
   List.map (fun (name, d) -> (name, driver_value d)) nl.Netlist.outputs
 

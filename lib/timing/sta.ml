@@ -17,22 +17,37 @@ type report = {
   critical_path : path_element list;
 }
 
+(* Depth-first with an explicit stack: netlists can be chains of
+   10^5+ instances (the test suite drives one), far past the limit of
+   a recursive visit. Each entry carries a phase bit: pre-visit
+   pushes the post-visit entry then the unvisited fanins, so an
+   instance lands in the order only after all its fanins. *)
 let topological nl =
   let n = Array.length nl.Netlist.instances in
   let state = Array.make n 0 in
   let order = ref [] in
-  let rec visit i =
-    if state.(i) = 0 then begin
-      state.(i) <- 1;
-      Array.iter
-        (function Netlist.D_gate j -> visit j | Netlist.D_pi _ | Netlist.D_const _ -> ())
-        nl.Netlist.instances.(i).Netlist.inputs;
-      state.(i) <- 2;
-      order := i :: !order
+  let stack = Stack.create () in
+  for root = 0 to n - 1 do
+    if state.(root) = 0 then begin
+      Stack.push (root, false) stack;
+      while not (Stack.is_empty stack) do
+        let i, post = Stack.pop stack in
+        if post then begin
+          state.(i) <- 2;
+          order := i :: !order
+        end
+        else if state.(i) = 0 then begin
+          state.(i) <- 1;
+          Stack.push (i, true) stack;
+          Array.iter
+            (function
+              | Netlist.D_gate j when state.(j) = 0 ->
+                Stack.push (j, false) stack
+              | Netlist.D_gate _ | Netlist.D_pi _ | Netlist.D_const _ -> ())
+            nl.Netlist.instances.(i).Netlist.inputs
+        end
+      done
     end
-  in
-  for i = 0 to n - 1 do
-    visit i
   done;
   List.rev !order
 

@@ -111,6 +111,52 @@ let test_errors () =
     ".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n.names a f\n0 1\n.end\n";
   expect_error ".model m\n.inputs a\n.outputs f\n.names f f\n1 1\n.end\n"
 
+let expect_error_at ~line ~fragment source =
+  match Blif.read_string source with
+  | exception Blif.Parse_error { file; line = l; message } ->
+    check tint (Printf.sprintf "error line for %S" fragment) line l;
+    check tbool
+      (Printf.sprintf "message %S mentions %S" message fragment)
+      true (contains message fragment);
+    check tbool "no file for read_string" true (file = None)
+  | _ -> Alcotest.failf "expected a parse failure on %S" source
+
+let test_error_diagnostics () =
+  (* Malformed cube line: reported at the cube's own line. *)
+  expect_error_at ~line:5 ~fragment:"cube output"
+    ".model m\n.inputs a\n.outputs f\n.names a f\n1 2\n.end\n";
+  (* Cube width mismatch: reported at the .names line. *)
+  expect_error_at ~line:4 ~fragment:"cube width"
+    ".model m\n.inputs a\n.outputs f\n.names a f\n11 1\n.end\n";
+  (* Undefined signal: reported where it is referenced. *)
+  expect_error_at ~line:4 ~fragment:"undefined signal w"
+    ".model m\n.inputs a\n.outputs f\n.names w f\n1 1\n.end\n";
+  expect_error_at ~line:3 ~fragment:"undefined signal f"
+    ".model m\n.inputs a\n.outputs f\n.end\n";
+  expect_error_at ~line:3 ~fragment:"duplicate input a"
+    ".model m\n.inputs a\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n"
+
+let test_error_describe_with_file () =
+  let path = Filename.temp_file "dagmap_bad" ".blif" in
+  let oc = open_out path in
+  output_string oc ".model m\n.inputs a\n.outputs f\n.names a f\nx 1\n.end\n";
+  close_out oc;
+  let result =
+    match Blif.read_file path with
+    | exception Blif.Parse_error ({ file; line; _ } as e) ->
+      check tbool "file recorded" true (file = Some path);
+      check tint "line recorded" 4 line;
+      Some (Blif.describe (Blif.Parse_error e))
+    | _ -> None
+  in
+  Sys.remove path;
+  match result with
+  | Some text ->
+    (* Genlib-parser style "file:line: message" prefix. *)
+    check tbool "describe prefix" true
+      (contains text (Printf.sprintf "%s:4: " path))
+  | None -> Alcotest.fail "expected a parse failure"
+
 let test_write_read_roundtrip () =
   List.iter
     (fun net ->
@@ -218,6 +264,9 @@ let () =
           Alcotest.test_case "latches" `Quick test_latch_roundtrip;
           Alcotest.test_case "out of order" `Quick test_out_of_order_definitions;
           Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "error diagnostics" `Quick test_error_diagnostics;
+          Alcotest.test_case "describe with file" `Quick
+            test_error_describe_with_file;
           Alcotest.test_case "read file" `Quick test_read_file ] );
       ( "writer",
         [ Alcotest.test_case "roundtrip" `Quick test_write_read_roundtrip;

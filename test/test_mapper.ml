@@ -344,6 +344,29 @@ let test_optimality_vs_exhaustive () =
     (List.init 20 (fun i -> i));
   check tbool "some seeds exhaustively checked" true (!checked >= 3)
 
+let test_negative_pi_arrivals () =
+  (* Regression: [match_arrival] started its max at 0.0, clamping any
+     negative pin arrival — a uniformly negative PI arrival must shift
+     every label by exactly that constant (the argmax is unchanged). *)
+  let net = Generators.ripple_adder 4 in
+  let g = Subject.of_network net in
+  let db = Matchdb.prepare (Libraries.lib2_like ()) in
+  let shift = -10.0 in
+  List.iter
+    (fun mode ->
+      let base, _, _ = Mapper.label mode db g in
+      let shifted, _, _ =
+        Mapper.label ~pi_arrival:(fun _ -> shift) mode db g
+      in
+      Array.iteri
+        (fun n b ->
+          check tfloat
+            (Printf.sprintf "%s node %d shifts uniformly"
+               (Mapper.mode_name mode) n)
+            (b +. shift) shifted.(n))
+        base)
+    modes
+
 (* QCheck: random circuits, random library subsets stay equivalent. *)
 let qc_mapping_equivalence =
   QCheck.Test.make ~count:20 ~name:"random circuit mapping equivalence"
@@ -381,7 +404,9 @@ let () =
         [ Alcotest.test_case "unmappable" `Quick test_unmappable_raises;
           Alcotest.test_case "const and pi outputs" `Quick
             test_constant_and_pi_outputs;
-          Alcotest.test_case "stats" `Quick test_stats_populated ] );
+          Alcotest.test_case "stats" `Quick test_stats_populated;
+          Alcotest.test_case "negative PI arrivals" `Quick
+            test_negative_pi_arrivals ] );
       ( "equivalence",
         [ Alcotest.test_case "fixed circuits" `Slow test_equivalence;
           QCheck_alcotest.to_alcotest qc_mapping_equivalence ] ) ]

@@ -123,14 +123,21 @@ let test_equiv_detects_missing_output () =
   | Equiv.Equivalent | Equiv.Counterexample _ ->
     Alcotest.fail "expected output mismatch"
 
-let test_extra_outputs_tolerated () =
+let test_equiv_detects_extra_output () =
+  (* Regression: extra outputs on the second simulator used to be
+     silently ignored whenever nothing was missing. *)
   let net = Generators.parity 4 in
   let verdict =
     Equiv.compare_sims ~n_inputs:4
       (fun words -> Simulate.network net words)
       (fun words -> ("extra", 0L) :: Simulate.network net words)
   in
-  check tbool "extra outputs ok" true (Equiv.is_equivalent verdict)
+  match verdict with
+  | Equiv.Output_mismatch { missing; extra } ->
+    check (Alcotest.list Alcotest.string) "nothing missing" [] missing;
+    check (Alcotest.list Alcotest.string) "extra detected" [ "extra" ] extra
+  | Equiv.Equivalent | Equiv.Counterexample _ ->
+    Alcotest.fail "expected output mismatch on extra output"
 
 let test_counterexample_is_real () =
   (* The returned assignment really distinguishes the circuits. *)
@@ -210,6 +217,7 @@ let () =
             test_equiv_detects_difference;
           Alcotest.test_case "detects missing output" `Quick
             test_equiv_detects_missing_output;
-          Alcotest.test_case "extra outputs" `Quick test_extra_outputs_tolerated;
+          Alcotest.test_case "detects extra output" `Quick
+            test_equiv_detects_extra_output;
           Alcotest.test_case "counterexample real" `Quick
             test_counterexample_is_real ] ) ]

@@ -80,6 +80,50 @@ let test_num_critical_counts () =
   check tbool "at least the path is critical" true
     (n >= List.length report.Sta.critical_path)
 
+let test_deep_chain () =
+  (* Regression: the topological visits in Netlist, Sta and Simulate
+     were recursive and blew the call stack on chains far shallower
+     than this. 100k inverters must validate, analyze and simulate. *)
+  let depth = 100_000 in
+  let seed_net = Dagmap_logic.Network.create ~name:"deep" () in
+  let x = Dagmap_logic.Network.add_pi seed_net "x" in
+  let inv_node =
+    Dagmap_logic.Network.add_logic seed_net
+      Dagmap_logic.Bexpr.(not_ (var 0))
+      [| x |]
+  in
+  Dagmap_logic.Network.add_po seed_net "o" inv_node;
+  let g = Subject.of_network seed_net in
+  let pi = List.hd (Subject.pi_ids g) in
+  let inv =
+    Gate.make ~name:"inv" ~area:1.0
+      ~pins:[| Gate.simple_pin ~delay:1.0 "a" |]
+      Dagmap_logic.Bexpr.(not_ (var 0))
+  in
+  let instances =
+    Array.init depth (fun i ->
+        { Netlist.inst_id = i;
+          gate = inv;
+          inputs =
+            [| (if i = 0 then Netlist.D_pi pi else Netlist.D_gate (i - 1)) |];
+          subject_root = i;
+          covers = [| i |] })
+  in
+  let nl =
+    { Netlist.source = g;
+      instances;
+      outputs = [ ("o", Netlist.D_gate (depth - 1)) ] }
+  in
+  Netlist.validate nl;
+  let report = Sta.analyze nl in
+  check tfloat "chain delay" (float_of_int depth) report.Sta.worst_delay;
+  check Alcotest.int "critical path spans the chain" depth
+    (List.length report.Sta.critical_path);
+  let word = 0x5555_5555_5555_5555L in
+  let out = Dagmap_sim.Simulate.netlist nl [| word |] in
+  (* An even number of inversions is the identity. *)
+  check tbool "simulates through" true (Int64.equal (List.assoc "o" out) word)
+
 let test_pp_path_renders () =
   let nl = mapped_example () in
   let report = Sta.analyze nl in
@@ -95,4 +139,5 @@ let () =
           Alcotest.test_case "critical path" `Quick test_critical_path_structure;
           Alcotest.test_case "relaxed required" `Quick test_relaxed_required_time;
           Alcotest.test_case "num critical" `Quick test_num_critical_counts;
+          Alcotest.test_case "deep chain" `Quick test_deep_chain;
           Alcotest.test_case "pp path" `Quick test_pp_path_renders ] ) ]

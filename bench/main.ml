@@ -13,6 +13,7 @@ open Dagmap_subject
 open Dagmap_core
 open Dagmap_sim
 open Dagmap_circuits
+open Dagmap_obs
 
 let hr title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -34,13 +35,8 @@ type row = {
 }
 
 let map_row db g circuit =
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    (r, Unix.gettimeofday () -. t0)
-  in
-  let tree, tree_cpu = time (fun () -> Mapper.map Mapper.Tree db g) in
-  let dag, dag_cpu = time (fun () -> Mapper.map Mapper.Dag db g) in
+  let tree, tree_cpu = Clock.time (fun () -> Mapper.map Mapper.Tree db g) in
+  let dag, dag_cpu = Clock.time (fun () -> Mapper.map Mapper.Dag db g) in
   let verified =
     let n_inputs = List.length (Subject.pi_ids g) in
     let ok r =
@@ -275,11 +271,11 @@ let run_engine_comparison () =
       let bdb = Dagmap_cutmap.Boolean_match.prepare lib in
       List.iter
         (fun (name, g) ->
-          let t0 = Unix.gettimeofday () in
+          let t0 = Clock.now () in
           let rp = Mapper.map Mapper.Dag pdb g in
-          let t1 = Unix.gettimeofday () in
+          let t1 = Clock.now () in
           let rc = Dagmap_cutmap.Cut_mapper.map bdb g in
-          let t2 = Unix.gettimeofday () in
+          let t2 = Clock.now () in
           Printf.printf "%-8s %-6s | %9.2f | %9.2f | %8.2fs %8.2fs\n" name
             lib_name
             (Netlist.delay rp.Mapper.netlist)
@@ -301,11 +297,11 @@ let run_ablation_cut_budget () =
   Printf.printf "  structural reference: %.2f\n" reference;
   List.iter
     (fun priority ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Clock.now () in
       let r = Dagmap_cutmap.Cut_mapper.map ~priority bdb g in
       Printf.printf "  priority=%3d: delay=%7.2f  (%.2fs)\n" priority
         (Netlist.delay r.Dagmap_cutmap.Cut_mapper.netlist)
-        (Unix.gettimeofday () -. t0))
+        (Clock.now () -. t0))
     [ 4; 12; 25; 50; 100 ]
 
 let run_delay_model_validation () =
@@ -371,9 +367,9 @@ let run_complexity_section () =
         Generators.random_dag ~seed:4242 ~inputs:64 ~outputs:32 ~nodes ()
       in
       let g = Subject.of_network net in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Clock.now () in
       let _ = Mapper.map Mapper.Dag db g in
-      let dt = Unix.gettimeofday () -. t0 in
+      let dt = Clock.now () -. t0 in
       Printf.printf "%-10d | %8d | %9.3f | %12.2f\n" nodes
         (Subject.num_nodes g) dt
         (dt *. 1e6 /. float_of_int (Subject.num_nodes g)))
@@ -461,11 +457,7 @@ let run_parallel_section () =
          (Generators.random_dag ~seed:4242 ~inputs:64 ~outputs:32 ~nodes:16000
             ())) ]
   in
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    (r, Unix.gettimeofday () -. t0)
-  in
+  let time = Clock.time in
   List.iter
     (fun (name, lib_name, g) ->
       let lib = Option.get (Libraries.by_name lib_name) in
@@ -536,13 +528,8 @@ let run_super_section () =
         "delay" "%" "area" "cpu x" "used" "equiv";
       List.iter
         (fun (cname, g) ->
-          let time f =
-            let t0 = Unix.gettimeofday () in
-            let r = f () in
-            (r, Unix.gettimeofday () -. t0)
-          in
-          let rb, tb = time (fun () -> Mapper.map Mapper.Dag db_base g) in
-          let ra, ta = time (fun () -> Mapper.map Mapper.Dag db_aug g) in
+          let rb, tb = Clock.time (fun () -> Mapper.map Mapper.Dag db_base g) in
+          let ra, ta = Clock.time (fun () -> Mapper.map Mapper.Dag db_aug g) in
           let db_ = Netlist.delay rb.Mapper.netlist in
           let da = Netlist.delay ra.Mapper.netlist in
           let n_inputs = List.length (Subject.pi_ids g) in
@@ -564,6 +551,221 @@ let run_super_section () =
         circuits)
     [ ("lib2", { Superenum.default_bounds with max_pins = 4; max_size = 3 });
       ("44-1", Superenum.default_bounds) ]
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable bench trajectory: `json` and `compare` modes       *)
+(* ------------------------------------------------------------------ *)
+
+(* `bench json [quick] [FILE]` writes one BENCH_<stamp>.json snapshot
+   of mapping quality and runtime. Schema "dagmap-bench/1" (see
+   EXPERIMENTS.md):
+
+     { "schema":  "dagmap-bench/1",
+       "generated": "YYYYMMDD_HHMMSS",
+       "quick":   bool,
+       "rows":    [ { "circuit", "library", "mode",   -- tree|dag|super
+                      "delay", "area", "gates", "duplicated",
+                      "wall_seconds", "cpu_seconds" } ],
+       "cache":   { "hits", "misses", "lookups" },    -- global registry
+       "parallel": { "jobs", "chunks", "parallel_levels",
+                     "wall_seconds", "sequential_wall_seconds",
+                     "speedup", "identical" },
+       "metrics": { ... }  }                          -- full registry dump
+
+   `bench compare NEW BASELINE` reloads two such files and fails (exit
+   1) when the geometric-mean dag-mode wall-time ratio NEW/BASELINE
+   exceeds 1.25 — the CI regression gate. Delay and area are also
+   compared, with zero tolerance: both are deterministic, so any drift
+   is a quality regression, not noise. *)
+
+let bench_schema = "dagmap-bench/1"
+
+let bench_row ~circuit ~library ~mode nl ~wall ~cpu =
+  Json.Obj
+    [ ("circuit", Json.String circuit);
+      ("library", Json.String library);
+      ("mode", Json.String mode);
+      ("delay", Json.Float (Netlist.delay nl));
+      ("area", Json.Float (Netlist.area nl));
+      ("gates", Json.Int (Netlist.num_gates nl));
+      ("duplicated", Json.Int (Netlist.duplication nl));
+      ("wall_seconds", Json.Float wall);
+      ("cpu_seconds", Json.Float cpu) ]
+
+let run_json quick out_file =
+  let open Dagmap_super in
+  Metrics.reset_all ();
+  let circuits =
+    let all = Iscas_like.table_circuits () in
+    if quick then
+      List.filter (fun (n, _) -> n = "C2670" || n = "C6288") all
+    else all
+  in
+  let subjects =
+    List.map (fun (n, net) -> (n, Subject.of_network net)) circuits
+  in
+  let rows = ref [] in
+  let push r = rows := r :: !rows in
+  (* Tree and DAG rows for each circuit under each of the three paper
+     libraries — the machine-readable form of Tables 1-3, with both
+     time bases so parallel speedups stay visible. *)
+  List.iter
+    (fun lib_name ->
+      let lib = Option.get (Libraries.by_name lib_name) in
+      let db = Matchdb.prepare lib in
+      List.iter
+        (fun (cname, g) ->
+          List.iter
+            (fun (tag, mode) ->
+              let r, wall, cpu =
+                Clock.time_wall_cpu (fun () -> Mapper.map mode db g)
+              in
+              push
+                (bench_row ~circuit:cname ~library:lib_name ~mode:tag
+                   r.Mapper.netlist ~wall ~cpu))
+            [ ("tree", Mapper.Tree); ("dag", Mapper.Dag) ])
+        subjects)
+    [ "lib2"; "44-1"; "44-3" ];
+  (* Super rows: DAG mapping under lib2 augmented with a small
+     in-process supergate library (fuzz-sized bounds keep this cheap
+     enough for CI). *)
+  let base = Option.get (Libraries.by_name "lib2") in
+  let bounds =
+    { Superenum.default_bounds with
+      Superenum.max_pins = 4;
+      max_size = 3;
+      max_gates = 48 }
+  in
+  let sgl, _ = Superlib.make ~bounds ~jobs:2 base in
+  let db_aug = Matchdb.prepare (Superlib.augment base sgl) in
+  List.iter
+    (fun (cname, g) ->
+      let r, wall, cpu =
+        Clock.time_wall_cpu (fun () -> Mapper.map Mapper.Dag db_aug g)
+      in
+      push
+        (bench_row ~circuit:cname ~library:"lib2" ~mode:"super"
+           r.Mapper.netlist ~wall ~cpu))
+    subjects;
+  (* Parallel snapshot: sequential vs 4-domain labeling on the last
+     (largest) circuit, plus the work-steal counters the run left in
+     the registry. *)
+  let pname, pg = List.nth subjects (List.length subjects - 1) in
+  let db = Matchdb.prepare base in
+  let rseq, seq_wall = Clock.time (fun () -> Mapper.map Mapper.Dag db pg) in
+  let (rpar, par), par_wall =
+    Clock.time (fun () -> Parmap.map ~jobs:4 Mapper.Dag db pg)
+  in
+  let parallel =
+    Json.Obj
+      [ ("circuit", Json.String pname);
+        ("jobs", Json.Int par.Parmap.domains);
+        ("chunks", Json.Int par.Parmap.chunks);
+        ("parallel_levels", Json.Int par.Parmap.parallel_levels);
+        ("wall_seconds", Json.Float par_wall);
+        ("sequential_wall_seconds", Json.Float seq_wall);
+        ("speedup", Json.Float (seq_wall /. Float.max 1e-9 par_wall));
+        ("identical", Json.Bool (rpar.Mapper.labels = rseq.Mapper.labels)) ]
+  in
+  let cval n = Option.value ~default:0 (Metrics.counter_value n) in
+  let cache =
+    Json.Obj
+      [ ("hits", Json.Int (cval "matchdb.cache.hits"));
+        ("misses", Json.Int (cval "matchdb.cache.misses"));
+        ("lookups", Json.Int (cval "matchdb.cache.lookups")) ]
+  in
+  let doc =
+    Json.Obj
+      [ ("schema", Json.String bench_schema);
+        ("generated", Json.String (Clock.stamp ()));
+        ("quick", Json.Bool quick);
+        ("rows", Json.List (List.rev !rows));
+        ("cache", cache);
+        ("parallel", parallel);
+        ("metrics", Metrics.to_json ()) ]
+  in
+  let path =
+    match out_file with
+    | Some p -> p
+    | None -> Printf.sprintf "BENCH_%s.json" (Clock.stamp ())
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string ~pretty:true doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d rows)\n" path (List.length !rows)
+
+let run_compare_json new_file base_file =
+  let load path =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    try Json.parse s
+    with Json.Parse_error _ as e ->
+      failwith (Printf.sprintf "%s: %s" path (Json.describe e))
+  in
+  let rows doc =
+    match Option.bind (Json.member "rows" doc) Json.to_list with
+    | Some rs -> rs
+    | None -> failwith "bench compare: no \"rows\" list in document"
+  in
+  let field name r =
+    match Option.bind (Json.member name r) Json.to_string_value with
+    | Some s -> s
+    | None -> failwith ("bench compare: row without " ^ name)
+  in
+  let num name r =
+    match Option.bind (Json.member name r) Json.to_number with
+    | Some x -> x
+    | None -> failwith ("bench compare: row without " ^ name)
+  in
+  let key r = (field "circuit" r, field "library" r, field "mode" r) in
+  let doc_new = load new_file and doc_base = load base_file in
+  let base_tbl = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace base_tbl (key r) r) (rows doc_base);
+  let ratios = ref [] in
+  let quality_bad = ref false in
+  Printf.printf "%-8s %-6s %-5s | %9s | %9s | %7s\n" "circuit" "lib" "mode"
+    "base-wall" "new-wall" "ratio";
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt base_tbl (key r) with
+      | None -> ()
+      | Some b ->
+        let c, l, m = key r in
+        let wb = num "wall_seconds" b and wn = num "wall_seconds" r in
+        let ratio = wn /. Float.max 1e-9 wb in
+        if m = "dag" then ratios := ratio :: !ratios;
+        (* Delay and area are deterministic: any change is a mapper
+           quality regression, flagged regardless of speed. *)
+        List.iter
+          (fun f ->
+            if Float.abs (num f r -. num f b) > 1e-9 then begin
+              quality_bad := true;
+              Printf.printf "  QUALITY DRIFT %s/%s/%s: %s %.4f -> %.4f\n" c l
+                m f (num f b) (num f r)
+            end)
+          [ "delay"; "area" ];
+        Printf.printf "%-8s %-6s %-5s | %8.3fs | %8.3fs | %6.2fx\n" c l m wb
+          wn ratio)
+    (rows doc_new);
+  if !ratios = [] then failwith "bench compare: no common dag-mode rows";
+  let geo =
+    exp
+      (List.fold_left (fun a r -> a +. log r) 0.0 !ratios
+      /. float_of_int (List.length !ratios))
+  in
+  Printf.printf "geometric-mean dag wall-time ratio (new/base): %.3fx\n" geo;
+  if !quality_bad then begin
+    Printf.printf "FAIL: delay/area drifted from the baseline\n";
+    exit 1
+  end;
+  if geo > 1.25 then begin
+    Printf.printf "FAIL: dag mapping slowed down more than 25%%\n";
+    exit 1
+  end;
+  Printf.printf "ok: within the 25%% regression budget\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: one Test.make per table                   *)
@@ -611,6 +813,20 @@ let run_bechamel () =
 
 let () =
   let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "json" then begin
+    (* Machine-readable snapshot: `json [quick] [FILE]`. *)
+    let rest = Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)) in
+    let jq = List.mem "quick" rest in
+    let out = List.find_opt (fun a -> a <> "quick") rest in
+    run_json jq out;
+    exit 0
+  end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "compare" then begin
+    if Array.length Sys.argv < 4 then
+      failwith "usage: bench compare NEW.json BASELINE.json";
+    run_compare_json Sys.argv.(2) Sys.argv.(3);
+    exit 0
+  end;
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "parallel" then begin
     (* Standalone entry for the multicore section (used by CI and for
        quick speedup measurements). *)

@@ -11,6 +11,7 @@ open Dagmap_sim
 open Dagmap_circuits
 open Dagmap_retime
 open Dagmap_super
+open Dagmap_obs
 
 let named_circuits () =
   [ ("c432", Iscas_like.c432_like);
@@ -99,6 +100,9 @@ let print_mapper_stats ~cache_enabled (run : Mapper.stats)
   | Some p ->
     Printf.printf "stats: %d domains, %d levels (widest %d nodes)\n"
       p.Parmap.domains p.Parmap.levels p.Parmap.widest_level;
+    Printf.printf
+      "stats: %d levels ran parallel, %d work-steal chunks claimed\n"
+      p.Parmap.parallel_levels p.Parmap.chunks;
     let slowest = ref 0 in
     Array.iteri
       (fun i dt ->
@@ -110,7 +114,12 @@ let print_mapper_stats ~cache_enabled (run : Mapper.stats)
       p.Parmap.level_seconds.(!slowest)
       (Array.fold_left ( +. ) 0.0 p.Parmap.level_seconds)
 
-let run_map circuit lib_spec super_file mode_s opt recover buffer out_file verilog_file show_path verify jobs show_stats no_cache =
+let run_map circuit lib_spec super_file mode_s opt recover buffer out_file verilog_file show_path verify jobs show_stats no_cache trace_out metrics_json =
+  if trace_out <> None then begin
+    Span.reset ();
+    Span.set_enabled true
+  end;
+  if metrics_json <> None then Metrics.reset_all ();
   let net = load_circuit circuit in
   let net =
     if opt then begin
@@ -142,7 +151,7 @@ let run_map circuit lib_spec super_file mode_s opt recover buffer out_file veril
     (List.length lib.Libraries.patterns);
   let jobs = resolve_jobs jobs in
   let cache = not no_cache in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let mode_name, nl, pattern_result, par_stats =
     match mode with
     | Pattern_mode m ->
@@ -158,7 +167,32 @@ let run_map circuit lib_spec super_file mode_s opt recover buffer out_file veril
       let r = Dagmap_cutmap.Cut_mapper.map bdb sg in
       ("cut", r.Dagmap_cutmap.Cut_mapper.netlist, None, None)
   in
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt = Clock.now () -. t0 in
+  (match trace_out with
+   | None -> ()
+   | Some path ->
+     Span.write_chrome path;
+     Span.set_enabled false;
+     Printf.printf "wrote %s (%d trace events)\n" path
+       (List.length (Span.events ())));
+  (match metrics_json with
+   | None -> ()
+   | Some path ->
+     let doc =
+       Json.Obj
+         [ ("generated", Json.String (Clock.stamp ()));
+           ("circuit", Json.String circuit);
+           ("library", Json.String lib.Libraries.lib_name);
+           ("mode", Json.String mode_name);
+           ("jobs", Json.Int jobs);
+           ("cache", Json.Bool cache);
+           ("metrics", Metrics.to_json ()) ]
+     in
+     let oc = open_out path in
+     output_string oc (Json.to_string ~pretty:true doc);
+     output_char oc '\n';
+     close_out oc;
+     Printf.printf "wrote %s\n" path);
   Printf.printf "%s mapping: delay=%.2f area=%.0f gates=%d duplicated=%d (%.2fs)\n"
     mode_name (Netlist.delay nl) (Netlist.area nl)
     (Netlist.num_gates nl) (Netlist.duplication nl) dt;
@@ -315,8 +349,11 @@ let run_fuzz count seed nodes lib_spec no_super max_failures repro_dir
             if verbose || contains line "FAIL" then print_endline line)
           cfg)
   in
-  Printf.printf "fuzz: %d circuits, %d (circuit, config) cases audited\n"
-    outcome.Fuzz.circuits outcome.Fuzz.cases;
+  Printf.printf
+    "fuzz: %d circuits, %d (circuit, config) cases audited in %.2fs (%.1f \
+     cases/s)\n"
+    outcome.Fuzz.circuits outcome.Fuzz.cases outcome.Fuzz.seconds
+    outcome.Fuzz.cases_per_second;
   match outcome.Fuzz.failures with
   | [] -> Printf.printf "fuzz: all audits passed\n"
   | failures ->
@@ -376,9 +413,9 @@ let run_fpga circuit k out_file verify =
   let net = load_circuit circuit in
   let sg = Subject.of_network net in
   Printf.printf "circuit %s: %s\n" circuit (Subject.stats sg);
-  let t0 = Sys.time () in
+  let t0 = Clock.now () in
   let cover = Flowmap.map ~k sg in
-  let dt = Sys.time () -. t0 in
+  let dt = Clock.now () -. t0 in
   Printf.printf "FlowMap k=%d: depth=%d luts=%d (%.2fs)\n" k
     (Flowmap.depth cover) (Flowmap.num_luts cover) dt;
   (match out_file with
@@ -464,19 +501,19 @@ let run_compare circuit lib_spec =
   in
   List.iter
     (fun mode ->
-      let t0 = Sys.time () in
+      let t0 = Clock.now () in
       let r = Mapper.map mode db sg in
-      let dt = Sys.time () -. t0 in
+      let dt = Clock.now () -. t0 in
       report (Mapper.mode_name mode) r.Mapper.netlist dt;
       if mode = Mapper.Dag then begin
-        let t1 = Sys.time () in
+        let t1 = Clock.now () in
         let recovered = Area_recovery.recover db mode sg r in
-        report "dag+recover" recovered (Sys.time () -. t1)
+        report "dag+recover" recovered (Clock.now () -. t1)
       end)
     [ Mapper.Tree; Mapper.Dag; Mapper.Dag_extended ];
-  let t0 = Sys.time () in
+  let t0 = Clock.now () in
   let rc = Dagmap_cutmap.Cut_mapper.map bdb sg in
-  report "cut-boolean" rc.Dagmap_cutmap.Cut_mapper.netlist (Sys.time () -. t0)
+  report "cut-boolean" rc.Dagmap_cutmap.Cut_mapper.netlist (Clock.now () -. t0)
 
 (* ------------------------------------------------------------------ *)
 (* libs / circuits listings                                            *)
@@ -601,14 +638,36 @@ let map_cmd =
              (generated by $(b,techmap superlib) from the same base \
              library).")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Record phase spans (label, cover, per-level parallel work) \
+             and write them as Chrome trace-event JSON — open in \
+             chrome://tracing or Perfetto. Tracing never changes the \
+             mapping result.")
+  in
+  let metrics_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the observability counter/gauge/histogram registry \
+             (cache hit rates, phase timings, work-steal chunks) as JSON \
+             after mapping. The registry is reset first, so the file \
+             covers exactly this run.")
+  in
   let term =
     Term.(
       ret
-        (const (fun c l sf m op r b o vf p v j st nc ->
-             wrap (fun () -> run_map c l sf m op r b o vf p v j st nc))
+        (const (fun c l sf m op r b o vf p v j st nc tr mj ->
+             wrap (fun () -> run_map c l sf m op r b o vf p v j st nc tr mj))
         $ circuit_arg $ lib_arg $ super_file $ mode_arg $ opt $ recover
         $ buffer $ out_file $ verilog_file $ show_path $ verify $ jobs
-        $ show_stats $ no_cache))
+        $ show_stats $ no_cache $ trace_out $ metrics_json))
   in
   Cmd.v (Cmd.info "map" ~doc:"Map a circuit onto a gate library.") term
 

@@ -42,6 +42,8 @@ type outcome = {
   circuits : int;
   cases : int;
   failures : failure list;
+  seconds : float;
+  cases_per_second : float;
 }
 
 type case = {
@@ -206,6 +208,7 @@ let shrink ~fails net0 =
 (* ------------------------------------------------------------------ *)
 
 let run ?(log = fun (_ : string) -> ()) cfg =
+  let t0 = Dagmap_obs.Clock.now () in
   let cases = cases_of cfg in
   let failures = ref [] in
   let total = ref 0 in
@@ -248,7 +251,13 @@ let run ?(log = fun (_ : string) -> ()) cfg =
       cases;
     incr i
   done;
-  { circuits = !i; cases = !total; failures = List.rev !failures }
+  let seconds = Dagmap_obs.Clock.now () -. t0 in
+  { circuits = !i;
+    cases = !total;
+    failures = List.rev !failures;
+    seconds;
+    cases_per_second =
+      (if seconds > 0.0 then float_of_int !total /. seconds else 0.0) }
 
 let write_repro path f =
   let oc = open_out path in

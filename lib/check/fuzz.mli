@@ -48,6 +48,10 @@ type outcome = {
   circuits : int;       (** circuits generated *)
   cases : int;          (** (circuit, configuration) pairs audited *)
   failures : failure list;
+  seconds : float;      (** monotonic wall time of the whole sweep *)
+  cases_per_second : float;
+      (** audited-cases throughput — the sweep's perf trajectory
+          number, reported by [techmap fuzz] and the bench JSON *)
 }
 
 val run : ?log:(string -> unit) -> config -> outcome

@@ -1,5 +1,6 @@
 open Dagmap_genlib
 open Dagmap_subject
+open Dagmap_obs
 
 type mode = Tree | Dag | Dag_extended
 
@@ -183,13 +184,25 @@ let super_gates_in netlist =
     (fun acc i -> if Gate.is_super i.Netlist.gate then acc + 1 else acc)
     0 netlist.Netlist.instances
 
+(* Phase timings use the monotonic wall clock. They used to be
+   [Sys.time] (process CPU), which callers then compared against the
+   wall-clock numbers of Parmap and the bench harness — mixing two
+   incompatible time bases. [Obs.Clock] is the single source of truth
+   now; CPU seconds are still available to callers that want them
+   via [Clock.time_wall_cpu]. *)
 let map ?(cache = true) mode db g =
   let cache = if cache then Some (Matchdb.create_cache db) else None in
-  let t0 = Sys.time () in
-  let labels, best, (tried, super_tried) = label ?cache mode db g in
-  let t1 = Sys.time () in
-  let netlist = cover g best in
-  let t2 = Sys.time () in
+  let t0 = Clock.now () in
+  let labels, best, (tried, super_tried) =
+    Span.with_span ~cat:"mapper" "label" (fun () -> label ?cache mode db g)
+  in
+  let t1 = Clock.now () in
+  let netlist = Span.with_span ~cat:"mapper" "cover" (fun () -> cover g best) in
+  let t2 = Clock.now () in
+  Metrics.Histogram.observe (Metrics.histogram "mapper.label_seconds") (t1 -. t0);
+  Metrics.Histogram.observe (Metrics.histogram "mapper.cover_seconds") (t2 -. t1);
+  Metrics.Counter.incr (Metrics.counter "mapper.maps");
+  Metrics.Counter.add (Metrics.counter "mapper.matches_tried") tried;
   let ch, cm, cl =
     match cache with
     | None -> (0, 0, 0)

@@ -33,7 +33,12 @@ exception Unmappable of { node : int; description : string }
 
 type stats = {
   label_seconds : float;
-  cover_seconds : float;
+      (** monotonic wall seconds of the labeling pass
+          ({!Dagmap_obs.Clock.now}) — same time base as {!Parmap} and
+          the bench harness, so phase timings are directly comparable
+          (these fields were process-CPU [Sys.time] once, which
+          understated parallel phases and mixed clocks) *)
+  cover_seconds : float;  (** monotonic wall seconds of the cover pass *)
   matches_tried : int;   (** successful matches considered while labeling *)
   super_matches_tried : int;
       (** subset of [matches_tried] whose gate is a supergate

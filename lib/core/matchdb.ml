@@ -1,5 +1,6 @@
 open Dagmap_genlib
 open Dagmap_subject
+open Dagmap_obs
 
 (* Category of a pattern node as seen from its parent: a leaf matches
    any subject node; inverters and NANDs must match like kinds. *)
@@ -120,9 +121,15 @@ type centry = {
 
 type cache = {
   table : (string, centry list) Hashtbl.t;
-  mutable hits : int;
-  mutable misses : int;
-  mutable lookups : int;
+  (* Counters are [Obs.Metrics] atomics: the per-cache totals feed
+     Mapper.stats, and every bump is mirrored into the process-global
+     registry counters below, which are shared by all caches across
+     all Parmap domains. The former [mutable int] fields lost updates
+     whenever a cache (or the aggregate) was read or written from
+     more than one domain. *)
+  hits : Metrics.Counter.t;
+  misses : Metrics.Counter.t;
+  lookups : Metrics.Counter.t;
   mutable disabled : bool;
   (* Scratch state reused across lookups (single-threaded per cache;
      parallel labeling gives each worker domain its own cache). *)
@@ -132,26 +139,46 @@ type cache = {
   buf : Buffer.t;
 }
 
+(* Process-global aggregates over every cache in every domain. The
+   conservation law [lookups = hits + misses] holds on these exactly
+   because each counter is atomic — the multi-domain test in
+   test_matchcache.ml locks this down. *)
+let global_hits = Metrics.counter "matchdb.cache.hits"
+let global_misses = Metrics.counter "matchdb.cache.misses"
+let global_lookups = Metrics.counter "matchdb.cache.lookups"
+
 let create_cache _db =
   { table = Hashtbl.create 1024;
-    hits = 0;
-    misses = 0;
-    lookups = 0;
+    hits = Metrics.Counter.create ();
+    misses = Metrics.Counter.create ();
+    lookups = Metrics.Counter.create ();
     disabled = false;
     cone = Array.make 64 0;
     cone_len = 0;
     local_of = Hashtbl.create 64;
     buf = Buffer.create 256 }
 
-let cache_hits c = c.hits
-let cache_misses c = c.misses
-let cache_lookups c = c.lookups
+let cache_hits c = Metrics.Counter.value c.hits
+let cache_misses c = Metrics.Counter.value c.misses
+let cache_lookups c = Metrics.Counter.value c.lookups
 let cache_retired c = c.disabled
 
+let count_hit c =
+  Metrics.Counter.incr c.hits;
+  Metrics.Counter.incr global_hits
+
+let count_miss c =
+  Metrics.Counter.incr c.misses;
+  Metrics.Counter.incr global_misses
+
+let count_lookup c =
+  Metrics.Counter.incr c.lookups;
+  Metrics.Counter.incr global_lookups
+
 let reset_counters c =
-  c.hits <- 0;
-  c.misses <- 0;
-  c.lookups <- 0
+  Metrics.Counter.reset c.hits;
+  Metrics.Counter.reset c.misses;
+  Metrics.Counter.reset c.lookups
 
 (* Beyond this cone size the signature itself gets expensive and
    shapes stop repeating; bypass the cache (still deterministic). *)
@@ -169,8 +196,8 @@ let min_hit_shift = 2 (* hits < lookups/2^2, i.e. < 25 % *)
 
 let maybe_retire c =
   if
-    c.lookups >= probation
-    && c.hits < c.lookups asr min_hit_shift
+    cache_lookups c >= probation
+    && cache_hits c < cache_lookups c asr min_hit_shift
   then begin
     c.disabled <- true;
     Hashtbl.reset c.table
@@ -270,20 +297,20 @@ let for_each_node_match ?cache db cls g ~fanouts ~levels node f =
   | Some c, (Snand _ | Sinv _) when c.disabled ->
     enumerate db cls g ~fanouts ~levels node f
   | Some c, (Snand _ | Sinv _) -> begin
-    c.lookups <- c.lookups + 1;
+    count_lookup c;
     match cone_key c db cls g ~fanouts ~levels node with
     | None ->
       (* Over-budget cone: charge a miss, don't store. *)
-      c.misses <- c.misses + 1;
+      count_miss c;
       maybe_retire c;
       enumerate db cls g ~fanouts ~levels node f
     | Some key -> begin
       match Hashtbl.find_opt c.table key with
       | Some entries ->
-        c.hits <- c.hits + 1;
+        count_hit c;
         List.iter (fun e -> f (translate c e)) entries
       | None ->
-        c.misses <- c.misses + 1;
+        count_miss c;
         maybe_retire c;
         let acc = ref [] in
         enumerate db cls g ~fanouts ~levels node (fun m ->

@@ -30,10 +30,15 @@ val library : t -> Libraries.t
 val num_patterns : t -> int
 
 type cache
-(** A match cache. Not thread-safe: a cache belongs to one domain at
-    a time (the parallel labeler creates one per worker). Creating a
-    cache is cheap; hit rate grows with the number of nodes looked up
-    through the same cache. *)
+(** A match cache. Lookups are not thread-safe — the signature
+    scratch state belongs to one domain at a time, so the parallel
+    labeler creates one cache per worker — but the hit/miss/lookup
+    counters are {!Dagmap_obs.Metrics} atomics: reading them from
+    another domain, and the process-global aggregate counters
+    (["matchdb.cache.lookups"/"hits"/"misses"] in the metrics
+    registry) that every cache feeds concurrently, are exact.
+    Creating a cache is cheap; hit rate grows with the number of
+    nodes looked up through the same cache. *)
 
 val create_cache : t -> cache
 
@@ -41,7 +46,9 @@ val cache_hits : cache -> int
 val cache_misses : cache -> int
 val cache_lookups : cache -> int
 (** Counters satisfy
-    [cache_lookups c = cache_hits c + cache_misses c]; PI nodes are
+    [cache_lookups c = cache_hits c + cache_misses c] — also across
+    domains on the global registry aggregates, since every bump is
+    atomic; PI nodes are
     not counted (they have no matches). A cache that keeps missing
     (shape-diverse subjects, e.g. seeded random logic) retires
     itself after a probation period — later lookups bypass it and

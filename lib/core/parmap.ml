@@ -1,4 +1,5 @@
 open Dagmap_subject
+open Dagmap_obs
 
 (* Level-parallel labeling.
 
@@ -24,6 +25,8 @@ type par_stats = {
   levels : int;
   widest_level : int;
   level_seconds : float array;
+  parallel_levels : int;
+  chunks : int;
 }
 
 let recommended_jobs () = Domain.recommended_domain_count ()
@@ -136,6 +139,12 @@ let label ?jobs ?(cache = true) ?(pi_arrival = fun _ -> 0.0) mode db g =
   let tried = Array.make jobs 0 in
   let super_tried = Array.make jobs 0 in
   let level_seconds = Array.make (Array.length by_level) 0.0 in
+  (* Queue/steal statistics: levels wide enough to fan out, and the
+     number of work chunks handed through the atomic cursor (a proxy
+     for stealing granularity). Both are deterministic per run shape;
+     only the chunk *assignment* to workers varies. *)
+  let parallel_levels = ref 0 in
+  let chunks_claimed = Atomic.make 0 in
   let failure : exn option Atomic.t = Atomic.make None in
   let process worker node =
     match Subject.kind g node with
@@ -152,42 +161,53 @@ let label ?jobs ?(cache = true) ?(pi_arrival = fun _ -> 0.0) mode db g =
   Fun.protect
     ~finally:(fun () -> Option.iter shutdown_pool pool)
     (fun () ->
+      let run_level li nodes =
+        let t0 = Clock.now () in
+        let len = Array.length nodes in
+        (match pool with
+         | Some pool when len >= fanout_threshold jobs ->
+           incr parallel_levels;
+           (* Work-stealing over fixed-size chunks: an atomic cursor
+              hands out index ranges, so a worker stuck on an
+              expensive node (a deep cone in a rich library) does
+              not stall the rest of the level. *)
+           let cursor = Atomic.make 0 in
+           let chunk = max 1 (len / (jobs * 8)) in
+           run_pool pool (fun w ->
+               try
+                 let rec loop () =
+                   let start = Atomic.fetch_and_add cursor chunk in
+                   if start < len then begin
+                     ignore (Atomic.fetch_and_add chunks_claimed 1);
+                     let stop = min len (start + chunk) - 1 in
+                     for i = start to stop do
+                       process w nodes.(i)
+                     done;
+                     loop ()
+                   end
+                 in
+                 loop ()
+               with e ->
+                 ignore (Atomic.compare_and_set failure None (Some e)));
+           (match Atomic.get failure with
+            | Some e -> raise e
+            | None -> ())
+         | _ ->
+           (* The calling domain reuses the last worker slot's cache
+              so small levels still feed the same cache as large
+              ones. *)
+           Array.iter (process (jobs - 1)) nodes);
+        let dt = Clock.now () -. t0 in
+        level_seconds.(li) <- dt;
+        Metrics.Histogram.observe (Metrics.histogram "parmap.level_seconds") dt
+      in
       Array.iteri
         (fun li nodes ->
-          let t0 = Unix.gettimeofday () in
-          let len = Array.length nodes in
-          (match pool with
-           | Some pool when len >= fanout_threshold jobs ->
-             (* Work-stealing over fixed-size chunks: an atomic cursor
-                hands out index ranges, so a worker stuck on an
-                expensive node (a deep cone in a rich library) does
-                not stall the rest of the level. *)
-             let cursor = Atomic.make 0 in
-             let chunk = max 1 (len / (jobs * 8)) in
-             run_pool pool (fun w ->
-                 try
-                   let rec loop () =
-                     let start = Atomic.fetch_and_add cursor chunk in
-                     if start < len then begin
-                       let stop = min len (start + chunk) - 1 in
-                       for i = start to stop do
-                         process w nodes.(i)
-                       done;
-                       loop ()
-                     end
-                   in
-                   loop ()
-                 with e ->
-                   ignore (Atomic.compare_and_set failure None (Some e)));
-             (match Atomic.get failure with
-              | Some e -> raise e
-              | None -> ())
-           | _ ->
-             (* The calling domain reuses the last worker slot's cache
-                so small levels still feed the same cache as large
-                ones. *)
-             Array.iter (process (jobs - 1)) nodes);
-          level_seconds.(li) <- Unix.gettimeofday () -. t0)
+          if Span.is_enabled () then
+            Span.with_span ~cat:"parmap"
+              (Printf.sprintf "level %d (%d nodes)" li (Array.length nodes))
+              (fun () -> run_level li nodes)
+          else run_level li nodes)
         by_level);
   let tried = Array.fold_left ( + ) 0 tried in
   let super_tried = Array.fold_left ( + ) 0 super_tried in
@@ -205,22 +225,28 @@ let label ?jobs ?(cache = true) ?(pi_arrival = fun _ -> 0.0) mode db g =
   let widest_level =
     Array.fold_left (fun acc ns -> max acc (Array.length ns)) 0 by_level
   in
+  Metrics.Counter.add (Metrics.counter "parmap.chunks") (Atomic.get chunks_claimed);
+  Metrics.Counter.add (Metrics.counter "parmap.parallel_levels") !parallel_levels;
   let stats =
     { domains = jobs;
       levels = Array.length by_level;
       widest_level;
-      level_seconds }
+      level_seconds;
+      parallel_levels = !parallel_levels;
+      chunks = Atomic.get chunks_claimed }
   in
   (labels, best, (tried, super_tried, hits, misses, lookups), stats)
 
 let map ?jobs ?cache mode db g =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let labels, best, (tried, super_tried, hits, misses, lookups), par =
-    label ?jobs ?cache mode db g
+    Span.with_span ~cat:"parmap" "label" (fun () -> label ?jobs ?cache mode db g)
   in
-  let t1 = Unix.gettimeofday () in
-  let netlist = Mapper.cover g best in
-  let t2 = Unix.gettimeofday () in
+  let t1 = Clock.now () in
+  let netlist =
+    Span.with_span ~cat:"parmap" "cover" (fun () -> Mapper.cover g best)
+  in
+  let t2 = Clock.now () in
   ( { Mapper.netlist;
       labels;
       best;

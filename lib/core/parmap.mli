@@ -22,7 +22,14 @@ type par_stats = {
   domains : int;            (** domains actually used (>= 1) *)
   levels : int;             (** topological levels swept *)
   widest_level : int;       (** nodes in the widest level *)
-  level_seconds : float array;  (** wall-clock per level *)
+  level_seconds : float array;
+      (** monotonic wall-clock per level ({!Dagmap_obs.Clock}) *)
+  parallel_levels : int;
+      (** levels wide enough to fan across the pool (the rest ran on
+          the calling domain) *)
+  chunks : int;
+      (** work-stealing chunks handed out by the atomic cursor across
+          all parallel levels *)
 }
 
 val recommended_jobs : unit -> int
@@ -77,5 +84,6 @@ val map :
   Mapper.result * par_stats
 (** Parallel labeling + (sequential, output-driven) cover
     construction. The {!Mapper.result} is bit-identical to
-    [Mapper.map mode db g]; timings in [run] are wall-clock rather
-    than CPU seconds. *)
+    [Mapper.map mode db g]; timings in [run] are monotonic wall
+    seconds from the same {!Dagmap_obs.Clock} the sequential mapper
+    uses, so 1-vs-N-domain comparisons are on one time base. *)

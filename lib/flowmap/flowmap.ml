@@ -16,19 +16,27 @@ type cover = {
 }
 
 (* Fanin cone of [t] (inclusive), using timestamped marks to avoid
-   re-allocating visited arrays per node. *)
+   re-allocating visited arrays per node. Explicit enter/exit stack
+   (not recursion): cones are as deep as the subject graph, which is
+   unbounded. The emitted order is the recursive post-order reversed
+   — t first — and feeds the flow-network construction, so it must
+   stay byte-stable for the cut choice to stay deterministic. *)
 let cone_of g marks stamp t =
   let acc = ref [] in
-  let rec visit u =
-    if marks.(u) <> stamp then begin
+  let stack = Stack.create () in
+  Stack.push (t, false) stack;
+  while not (Stack.is_empty stack) do
+    let u, exit = Stack.pop stack in
+    if exit then acc := u :: !acc
+    else if marks.(u) <> stamp then begin
       marks.(u) <- stamp;
-      List.iter visit (Subject.fanins g u);
-      acc := u :: !acc
+      Stack.push (u, true) stack;
+      List.iter
+        (fun f -> Stack.push (f, false) stack)
+        (List.rev (Subject.fanins g u))
     end
-  in
-  visit t;
-  !acc (* reverse-topological within the cone: users before fanins? no:
-          fanins first then t last, reversed: t first. Order unused. *)
+  done;
+  !acc
 
 (* Decide whether the cone of [t] admits a k-feasible cut of height
    [p - 1], i.e. with all label-p nodes (and t) collapsed into the
@@ -136,27 +144,48 @@ let map ~k g =
     Array.iteri (fun i u -> Hashtbl.replace input_index u i) cut;
     let w = Array.length cut in
     let func = ref (Truth.const w false) in
+    let stack = Stack.create () in
     for m = 0 to (1 lsl w) - 1 do
       let memo = Hashtbl.create 16 in
-      let rec value u =
+      let lookup u =
         match Hashtbl.find_opt input_index u with
-        | Some i -> m land (1 lsl i) <> 0
-        | None -> begin
-          match Hashtbl.find_opt memo u with
-          | Some v -> v
-          | None ->
-            let v =
+        | Some i -> Some (m land (1 lsl i) <> 0)
+        | None -> Hashtbl.find_opt memo u
+      in
+      (* Memoized region evaluation on an explicit stack (regions can
+         be chain-deep): a node stays on the stack until its fanins
+         resolve, then computes in one step. *)
+      let value t =
+        Stack.push t stack;
+        while not (Stack.is_empty stack) do
+          let u = Stack.top stack in
+          if lookup u <> None then ignore (Stack.pop stack)
+          else begin
+            let deps =
               match Subject.kind g u with
               | Subject.Spi ->
                 (* A PI inside the region but not on the cut cannot
                    happen: cuts separate PIs from the root. *)
                 assert false
-              | Subject.Sinv x -> not (value x)
-              | Subject.Snand (x, y) -> not (value x && value y)
+              | Subject.Sinv x -> [ x ]
+              | Subject.Snand (x, y) -> [ x; y ]
             in
-            Hashtbl.replace memo u v;
-            v
-        end
+            match List.filter (fun d -> lookup d = None) deps with
+            | [] ->
+              let get d = Option.get (lookup d) in
+              let v =
+                match Subject.kind g u with
+                | Subject.Spi -> assert false
+                | Subject.Sinv x -> not (get x)
+                | Subject.Snand (x, y) -> not (get x && get y)
+              in
+              Hashtbl.replace memo u v;
+              ignore (Stack.pop stack)
+            | pending ->
+              List.iter (fun d -> Stack.push d stack) (List.rev pending)
+          end
+        done;
+        Option.get (lookup t)
       in
       if value t then func := Truth.set_bit !func m true
     done;
@@ -181,15 +210,30 @@ let eval cover assignment =
   List.iteri (fun i id -> Hashtbl.replace value id assignment.(i)) pis;
   let by_root = Hashtbl.create 64 in
   List.iter (fun lut -> Hashtbl.replace by_root lut.lut_root lut) cover.luts;
-  let rec node_value u =
-    match Hashtbl.find_opt value u with
-    | Some v -> v
-    | None ->
-      let lut = Hashtbl.find by_root u in
-      let inputs = Array.map node_value lut.lut_inputs in
-      let v = Truth.eval lut.lut_func inputs in
-      Hashtbl.replace value u v;
-      v
+  (* LUT-network evaluation on an explicit stack: LUT chains are as
+     deep as the cover's depth, which is unbounded. *)
+  let stack = Stack.create () in
+  let node_value target =
+    Stack.push target stack;
+    while not (Stack.is_empty stack) do
+      let u = Stack.top stack in
+      if Hashtbl.mem value u then ignore (Stack.pop stack)
+      else begin
+        let lut = Hashtbl.find by_root u in
+        match
+          List.filter
+            (fun d -> not (Hashtbl.mem value d))
+            (Array.to_list lut.lut_inputs)
+        with
+        | [] ->
+          let inputs = Array.map (Hashtbl.find value) lut.lut_inputs in
+          Hashtbl.replace value u (Truth.eval lut.lut_func inputs);
+          ignore (Stack.pop stack)
+        | pending ->
+          List.iter (fun d -> Stack.push d stack) (List.rev pending)
+      end
+    done;
+    Hashtbl.find value target
   in
   List.map (fun (name, node) -> (name, node_value node)) cover.lut_outputs
   @ List.map (fun (name, b) -> (name, b)) g.Subject.const_outputs
@@ -206,26 +250,43 @@ let to_network cover =
      order. *)
   let by_root = Hashtbl.create 64 in
   List.iter (fun lut -> Hashtbl.replace by_root lut.lut_root lut) cover.luts;
-  let rec materialize root =
-    match Hashtbl.find_opt node_of root with
-    | Some id -> id
-    | None ->
-      let lut = Hashtbl.find by_root root in
-      let fanins = Array.map materialize lut.lut_inputs in
-      let w = Array.length lut.lut_inputs in
-      (* Truth table to SOP expression over the LUT inputs. *)
-      let minterms = ref [] in
-      for m = 0 to (1 lsl w) - 1 do
-        if Truth.get_bit lut.lut_func m then
-          minterms :=
-            List.init w (fun i -> (i, m land (1 lsl i) <> 0)) :: !minterms
-      done;
-      let expr = Bexpr.of_cubes !minterms in
-      let id =
-        Network.add_logic net ~name:(Printf.sprintf "lut%d" root) expr fanins
-      in
-      Hashtbl.replace node_of root id;
-      id
+  (* Explicit stack, like [eval]: a LUT materializes once all its
+     inputs exist, so creation order (hence node numbering in the
+     emitted network) matches the recursive left-to-right DFS. *)
+  let stack = Stack.create () in
+  let materialize root =
+    Stack.push root stack;
+    while not (Stack.is_empty stack) do
+      let r = Stack.top stack in
+      if Hashtbl.mem node_of r then ignore (Stack.pop stack)
+      else begin
+        let lut = Hashtbl.find by_root r in
+        match
+          List.filter
+            (fun d -> not (Hashtbl.mem node_of d))
+            (Array.to_list lut.lut_inputs)
+        with
+        | [] ->
+          let fanins = Array.map (Hashtbl.find node_of) lut.lut_inputs in
+          let w = Array.length lut.lut_inputs in
+          (* Truth table to SOP expression over the LUT inputs. *)
+          let minterms = ref [] in
+          for m = 0 to (1 lsl w) - 1 do
+            if Truth.get_bit lut.lut_func m then
+              minterms :=
+                List.init w (fun i -> (i, m land (1 lsl i) <> 0)) :: !minterms
+          done;
+          let expr = Bexpr.of_cubes !minterms in
+          let id =
+            Network.add_logic net ~name:(Printf.sprintf "lut%d" r) expr fanins
+          in
+          Hashtbl.replace node_of r id;
+          ignore (Stack.pop stack)
+        | pending ->
+          List.iter (fun d -> Stack.push d stack) (List.rev pending)
+      end
+    done;
+    Hashtbl.find node_of root
   in
   List.iter
     (fun (name, node) -> Network.add_po net name (materialize node))

@@ -121,21 +121,35 @@ let fanout_counts net =
   counts
 
 let topological_order net =
-  (* Iterative DFS with a cycle check via colors. *)
+  (* DFS with a cycle check via colors, on an explicit stack: the
+     native runtime grows fibers on demand, but bytecode and other
+     backends overflow on recursion depth, and chains here are
+     unbounded (100k-deep networks are tested). Each node is pushed
+     as an enter frame and again as an exit frame; grey = entered but
+     not exited = on the current DFS path, so popping an enter frame
+     for a grey node is exactly the recursive version's back edge. *)
   let white = 0 and grey = 1 and black = 2 in
   let color = Array.make net.count white in
   let order = ref [] in
-  let rec visit id =
-    if color.(id) = grey then failwith "Network: combinational cycle";
-    if color.(id) = white then begin
-      color.(id) <- grey;
-      Array.iter visit net.nodes.(id).fanins;
+  let stack = Stack.create () in
+  for root = net.count - 1 downto 0 do
+    Stack.push (root, false) stack
+  done;
+  while not (Stack.is_empty stack) do
+    let id, exit = Stack.pop stack in
+    if exit then begin
       color.(id) <- black;
       order := id :: !order
     end
-  in
-  for id = 0 to net.count - 1 do
-    visit id
+    else if color.(id) = grey then failwith "Network: combinational cycle"
+    else if color.(id) = white then begin
+      color.(id) <- grey;
+      Stack.push (id, true) stack;
+      let fanins = net.nodes.(id).fanins in
+      for i = Array.length fanins - 1 downto 0 do
+        Stack.push (fanins.(i), false) stack
+      done
+    end
   done;
   List.rev !order
 

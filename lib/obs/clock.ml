@@ -1,0 +1,30 @@
+external monotonic_ns : unit -> int64 = "dagmap_obs_monotonic_ns"
+external cputime_ns : unit -> int64 = "dagmap_obs_cputime_ns"
+
+let now () = 1e-9 *. Int64.to_float (monotonic_ns ())
+let cpu () = 1e-9 *. Int64.to_float (cputime_ns ())
+let since t0 = now () -. t0
+
+let time f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+let time_wall_cpu f =
+  let w0 = now () in
+  let c0 = cpu () in
+  let r = f () in
+  let c1 = cpu () in
+  let w1 = now () in
+  (r, w1 -. w0, c1 -. c0)
+
+(* Calendar time lives here so that nothing outside lib/obs needs
+   Unix.gettimeofday: it is only for stamping artifacts (file names,
+   "generated at" fields), never for measuring durations. *)
+let epoch () = Unix.gettimeofday ()
+
+let stamp () =
+  let t = Unix.localtime (epoch ()) in
+  Printf.sprintf "%04d%02d%02d_%02d%02d%02d" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+    t.Unix.tm_sec

@@ -1,0 +1,49 @@
+(** Clocks for the observability layer.
+
+    Two distinct time bases, chosen per use:
+
+    - {b monotonic wall time} ([CLOCK_MONOTONIC] via a C stub, since
+      OCaml 5.1's [Unix] does not expose [clock_gettime] and the repo
+      vendors no external clock package): never steps backwards, not
+      affected by NTP slew or [settimeofday]; the only clock valid
+      for measuring durations, and the time base of every span and
+      phase timing in the mapper stack.
+    - {b process CPU time} ([CLOCK_PROCESS_CPUTIME_ID]): total CPU
+      consumed by all domains of the process. On a parallel run it
+      exceeds wall time; the bench harness reports both so the
+      paper's CPU-seconds columns and parallel speedups stay
+      distinguishable.
+
+    Calendar time ({!epoch}, {!stamp}) is exposed only for stamping
+    artifacts — durations must never be derived from it. *)
+
+val monotonic_ns : unit -> int64
+(** Raw monotonic reading in nanoseconds. The origin is arbitrary
+    (typically boot); only differences are meaningful. *)
+
+val cputime_ns : unit -> int64
+(** Raw process-CPU reading in nanoseconds (all domains summed). *)
+
+val now : unit -> float
+(** Monotonic wall time in seconds. *)
+
+val cpu : unit -> float
+(** Process CPU time in seconds. *)
+
+val since : float -> float
+(** [since t0] = [now () -. t0]. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result with the monotonic
+    wall-clock duration. *)
+
+val time_wall_cpu : (unit -> 'a) -> 'a * float * float
+(** Like {!time} but returns [(result, wall seconds, cpu seconds)]. *)
+
+val epoch : unit -> float
+(** Seconds since the Unix epoch — calendar time, for stamping
+    artifacts only. *)
+
+val stamp : unit -> string
+(** Local calendar time as ["YYYYMMDD_HHMMSS"], for artifact file
+    names such as [BENCH_<stamp>.json]. *)

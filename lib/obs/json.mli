@@ -1,0 +1,43 @@
+(** A minimal JSON tree, printer and parser.
+
+    The observability exports (Chrome traces, metrics summaries,
+    bench trajectories) are plain JSON; the container ships no JSON
+    package, so this module is the single JSON surface of the repo —
+    the exporters build {!t} values and the test suite re-parses
+    their output with {!parse} to assert well-formedness. It is a
+    complete implementation of the JSON grammar except that [\uXXXX]
+    escapes above [0xFF] parse as ['?'] (no emitter here produces
+    them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize. [pretty] (default false) adds newlines and two-space
+    indentation. Non-finite floats are clamped to parseable values
+    (JSON has no [NaN]/[Infinity] literals). *)
+
+exception Parse_error of { pos : int; message : string }
+
+val describe : exn -> string
+(** Human-readable rendering of a {!Parse_error} (re-raises other
+    exceptions). *)
+
+val parse : string -> t
+(** Parse a complete JSON document. Raises {!Parse_error} on
+    malformed input or trailing characters. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj] ([None] on other constructors). *)
+
+val to_list : t -> t list option
+val to_number : t -> float option
+(** [Int] and [Float] both read as numbers. *)
+
+val to_string_value : t -> string option

@@ -1,0 +1,196 @@
+module Counter = struct
+  type t = int Atomic.t
+
+  let create () = Atomic.make 0
+  let incr t = ignore (Atomic.fetch_and_add t 1)
+  let add t n = ignore (Atomic.fetch_and_add t n)
+  let value t = Atomic.get t
+  let reset t = Atomic.set t 0
+end
+
+module Gauge = struct
+  type t = float Atomic.t
+
+  let create ?(init = 0.0) () = Atomic.make init
+  let set t x = Atomic.set t x
+  let value t = Atomic.get t
+  let reset t = Atomic.set t 0.0
+
+  let rec add t dx =
+    let cur = Atomic.get t in
+    if not (Atomic.compare_and_set t cur (cur +. dx)) then add t dx
+
+  let rec max_update t x =
+    let cur = Atomic.get t in
+    if x > cur && not (Atomic.compare_and_set t cur x) then max_update t x
+end
+
+module Histogram = struct
+  type t = {
+    bounds : float array;      (* ascending upper bounds *)
+    buckets : Counter.t array; (* length = |bounds| + 1 (overflow) *)
+    sum : Gauge.t;
+    count : Counter.t;
+    hmax : Gauge.t;
+  }
+
+  (* Log-spaced second buckets spanning 1us .. ~100s: phase and level
+     timings all land in this range. *)
+  let default_bounds =
+    Array.init 9 (fun i -> 1e-6 *. (10.0 ** float_of_int i))
+
+  let create ?(bounds = default_bounds) () =
+    { bounds;
+      buckets = Array.init (Array.length bounds + 1) (fun _ -> Counter.create ());
+      sum = Gauge.create ();
+      count = Counter.create ();
+      hmax = Gauge.create () }
+
+  let observe t x =
+    let i = ref 0 in
+    while !i < Array.length t.bounds && x > t.bounds.(!i) do
+      incr i
+    done;
+    Counter.incr t.buckets.(!i);
+    Gauge.add t.sum x;
+    Counter.incr t.count;
+    Gauge.max_update t.hmax x
+
+  let count t = Counter.value t.count
+  let sum t = Gauge.value t.sum
+  let max_value t = Gauge.value t.hmax
+
+  let mean t =
+    let n = count t in
+    if n = 0 then 0.0 else sum t /. float_of_int n
+
+  let reset t =
+    Array.iter Counter.reset t.buckets;
+    Gauge.reset t.sum;
+    Counter.reset t.count;
+    Gauge.reset t.hmax
+end
+
+(* ------------------------------------------------------------------ *)
+(* Process-global registry                                             *)
+(* ------------------------------------------------------------------ *)
+
+type metric =
+  | M_counter of Counter.t
+  | M_gauge of Gauge.t
+  | M_histogram of Histogram.t
+
+(* Registration is rare and mutex-guarded; the metrics themselves are
+   lock-free atomics, so domains hammer counters without contending
+   on the registry. *)
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+let find_or_create name make classify =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> (
+        match classify m with
+        | Some v -> v
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Obs.Metrics: %s already registered with another type"
+               name))
+      | None ->
+        let m, v = make () in
+        Hashtbl.replace registry name m;
+        v)
+
+let counter name =
+  find_or_create name
+    (fun () ->
+      let c = Counter.create () in
+      (M_counter c, c))
+    (function M_counter c -> Some c | _ -> None)
+
+let gauge name =
+  find_or_create name
+    (fun () ->
+      let g = Gauge.create () in
+      (M_gauge g, g))
+    (function M_gauge g -> Some g | _ -> None)
+
+let histogram ?bounds name =
+  find_or_create name
+    (fun () ->
+      let h = Histogram.create ?bounds () in
+      (M_histogram h, h))
+    (function M_histogram h -> Some h | _ -> None)
+
+let reset_all () =
+  with_registry (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | M_counter c -> Counter.reset c
+          | M_gauge g -> Gauge.reset g
+          | M_histogram h -> Histogram.reset h)
+        registry)
+
+let names () =
+  with_registry (fun () ->
+      List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) registry []))
+
+let counter_value name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (M_counter c) -> Some (Counter.value c)
+      | _ -> None)
+
+let gauge_value name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (M_gauge g) -> Some (Gauge.value g)
+      | _ -> None)
+
+let json_of_metric = function
+  | M_counter c -> Json.Int (Counter.value c)
+  | M_gauge g -> Json.Float (Gauge.value g)
+  | M_histogram h ->
+    Json.Obj
+      [ ("count", Json.Int (Histogram.count h));
+        ("sum", Json.Float (Histogram.sum h));
+        ("mean", Json.Float (Histogram.mean h));
+        ("max", Json.Float (Histogram.max_value h));
+        ( "buckets",
+          Json.List
+            (Array.to_list
+               (Array.mapi
+                  (fun i c ->
+                    let le =
+                      if i < Array.length h.Histogram.bounds then
+                        Json.Float h.Histogram.bounds.(i)
+                      else Json.String "inf"
+                    in
+                    Json.Obj
+                      [ ("le", le); ("n", Json.Int (Counter.value c)) ])
+                  h.Histogram.buckets)) ) ]
+
+let to_json () =
+  with_registry (fun () ->
+      let items =
+        List.sort compare (Hashtbl.fold (fun k m acc -> (k, m) :: acc) registry [])
+      in
+      Json.Obj (List.map (fun (k, m) -> (k, json_of_metric m)) items))
+
+let dump () =
+  let rec flat prefix = function
+    | Json.Obj fields ->
+      List.concat_map
+        (fun (k, v) ->
+          flat (if prefix = "" then k else prefix ^ "." ^ k) v)
+        fields
+    | v -> [ (prefix, Json.to_string v) ]
+  in
+  String.concat "\n"
+    (List.map (fun (k, v) -> Printf.sprintf "%-40s %s" k v)
+       (flat "" (to_json ())))

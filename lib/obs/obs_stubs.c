@@ -1,0 +1,37 @@
+/* Monotonic and per-process CPU clocks for Dagmap_obs.Clock.
+
+   OCaml 5.1's Unix library does not expose clock_gettime, and the
+   repo policy is no new opam packages (Mtime would be the natural
+   choice), so these two stubs are the whole native surface: raw
+   nanosecond readings of CLOCK_MONOTONIC and
+   CLOCK_PROCESS_CPUTIME_ID.  Both are [@@noalloc]-unfriendly only in
+   that they box an int64; neither takes the runtime lock beyond the
+   allocation. */
+
+#include <time.h>
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+static int64_t ns_of(clockid_t id)
+{
+  struct timespec ts;
+  if (clock_gettime(id, &ts) != 0)
+    return 0;
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+}
+
+CAMLprim value dagmap_obs_monotonic_ns(value unit)
+{
+  (void)unit;
+  return caml_copy_int64(ns_of(CLOCK_MONOTONIC));
+}
+
+CAMLprim value dagmap_obs_cputime_ns(value unit)
+{
+  (void)unit;
+#ifdef CLOCK_PROCESS_CPUTIME_ID
+  return caml_copy_int64(ns_of(CLOCK_PROCESS_CPUTIME_ID));
+#else
+  return caml_copy_int64((int64_t)(clock() * (1000000000.0 / CLOCKS_PER_SEC)));
+#endif
+}

@@ -1,0 +1,84 @@
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_tid : int;       (* Domain.self of the recording domain *)
+  ev_ts_ns : int64;   (* monotonic start *)
+  ev_dur_ns : int64;
+}
+
+(* Collection is off by default so the mapper's hot paths pay one
+   atomic load per phase; [techmap --trace-out] flips it on for the
+   run. Spans never influence results either way — [with_span] calls
+   its thunk unconditionally and timing is observation-only (the test
+   suite asserts bit-identical covers with observability on and
+   off). *)
+let enabled = Atomic.make false
+
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
+
+let buffer : event list ref = ref []
+let buffer_mutex = Mutex.create ()
+
+let record ev =
+  Mutex.lock buffer_mutex;
+  buffer := ev :: !buffer;
+  Mutex.unlock buffer_mutex
+
+let reset () =
+  Mutex.lock buffer_mutex;
+  buffer := [];
+  Mutex.unlock buffer_mutex
+
+let with_span ?(cat = "phase") name f =
+  if not (Atomic.get enabled) then f ()
+  else begin
+    let t0 = Clock.monotonic_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Clock.monotonic_ns () in
+        record
+          { ev_name = name;
+            ev_cat = cat;
+            ev_tid = (Domain.self () :> int);
+            ev_ts_ns = t0;
+            ev_dur_ns = Int64.sub t1 t0 })
+      f
+  end
+
+let events () =
+  Mutex.lock buffer_mutex;
+  let evs = !buffer in
+  Mutex.unlock buffer_mutex;
+  List.sort
+    (fun a b ->
+      let c = Int64.compare a.ev_ts_ns b.ev_ts_ns in
+      if c <> 0 then c else Int64.compare b.ev_dur_ns a.ev_dur_ns)
+    evs
+
+let us_of_ns ns = Int64.to_float ns /. 1e3
+
+(* Chrome trace-event format (chrome://tracing, Perfetto): an object
+   with a [traceEvents] list of complete ("ph": "X") events,
+   timestamps and durations in microseconds. *)
+let export_chrome () =
+  Json.Obj
+    [ ( "traceEvents",
+        Json.List
+          (List.map
+             (fun ev ->
+               Json.Obj
+                 [ ("name", Json.String ev.ev_name);
+                   ("cat", Json.String ev.ev_cat);
+                   ("ph", Json.String "X");
+                   ("pid", Json.Int 1);
+                   ("tid", Json.Int ev.ev_tid);
+                   ("ts", Json.Float (us_of_ns ev.ev_ts_ns));
+                   ("dur", Json.Float (us_of_ns ev.ev_dur_ns)) ])
+             (events ())) );
+      ("displayTimeUnit", Json.String "ms") ]
+
+let write_chrome path =
+  let oc = open_out path in
+  output_string oc (Json.to_string ~pretty:true (export_chrome ()));
+  close_out oc

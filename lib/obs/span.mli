@@ -1,0 +1,47 @@
+(** Nested phase spans with a Chrome trace-event exporter.
+
+    A span is one timed region (match/label/cover, a parallel level,
+    a bench phase), recorded with monotonic start and duration plus
+    the recording domain's id. Collection is disabled by default —
+    {!with_span} then runs its thunk with no recording and one atomic
+    load of overhead — and enabled for a run by
+    [techmap --trace-out]. Spans are observation-only: enabling them
+    never changes mapping results, which the test suite asserts
+    (bit-identical covers with observability on and off).
+
+    Because spans are recorded by lexically nested {!with_span}
+    calls, the intervals of any one domain properly nest — the
+    qcheck export test re-parses the trace and checks exactly that,
+    along with timestamp monotonicity. *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_tid : int;       (** recording domain's [Domain.self] *)
+  ev_ts_ns : int64;   (** monotonic start ({!Clock.monotonic_ns}) *)
+  ev_dur_ns : int64;
+}
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+
+val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] and, when collection is enabled,
+    records its monotonic start/duration under [name] (category
+    [cat], default ["phase"]). The span is recorded even when [f]
+    raises. Safe to call concurrently from multiple domains. *)
+
+val events : unit -> event list
+(** Recorded events, sorted by start time (ties: longer first, so a
+    parent precedes the child it encloses). *)
+
+val reset : unit -> unit
+(** Drop all recorded events. *)
+
+val export_chrome : unit -> Json.t
+(** The recorded spans as a Chrome trace-event document
+    ([{"traceEvents": [...]}], "ph":"X" complete events, microsecond
+    units) loadable in chrome://tracing or Perfetto. *)
+
+val write_chrome : string -> unit
+(** Write {!export_chrome} (pretty-printed) to a file. *)

@@ -1,6 +1,7 @@
 open Dagmap_logic
 open Dagmap_genlib
 open Dagmap_core
+open Dagmap_obs
 
 type bounds = {
   depth : int;
@@ -145,7 +146,7 @@ let generate ?(bounds = default_bounds) ?(jobs = 1) (lib : Libraries.t) =
   validate bounds;
   let b = bounds in
   let jobs = max 1 jobs in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let base = List.filter (usable b) lib.Libraries.gates in
   let roots = Array.of_list base in
   (* Per-class table of pruned candidates, seeded with the base gates
@@ -209,6 +210,8 @@ let generate ?(bounds = default_bounds) ?(jobs = 1) (lib : Libraries.t) =
     ~finally:(fun () -> Option.iter Parmap.shutdown_pool pool_domain)
     (fun () ->
       for d = 2 to b.depth do
+        Span.with_span ~cat:"superenum" (Printf.sprintf "depth %d" d)
+        @@ fun () ->
         (* Subtrees available at this level: single base gates plus
            every supergate representative from lower levels. *)
         let pool =
@@ -279,10 +282,12 @@ let generate ?(bounds = default_bounds) ?(jobs = 1) (lib : Libraries.t) =
         Supergate.to_gate ~fusion:b.fusion ~name c.tree)
       reps
   in
+  Metrics.Counter.add (Metrics.counter "superenum.considered") !considered_total;
+  Metrics.Counter.add (Metrics.counter "superenum.emitted") (List.length gates);
   let stats =
     { considered = !considered_total;
       distinct_classes = Hashtbl.length table;
       emitted = List.length gates;
-      seconds = Unix.gettimeofday () -. t0 }
+      seconds = Clock.now () -. t0 }
   in
   (gates, stats)

@@ -40,7 +40,9 @@ type stats = {
   considered : int;        (** composition trees examined *)
   distinct_classes : int;  (** NPN classes seen (incl. base gates) *)
   emitted : int;           (** supergates returned *)
-  seconds : float;         (** wall-clock enumeration time *)
+  seconds : float;
+      (** monotonic wall-clock enumeration time
+          ({!Dagmap_obs.Clock.now}) *)
 }
 
 val generate :

@@ -202,6 +202,33 @@ let test_to_network_roundtrip () =
       done)
     (small_graphs ())
 
+let test_deep_chain_cover () =
+  (* Regression: cone_of, the region truth-table evaluator, eval and
+     to_network were recursive. A deep NAND chain exercises all four
+     on one graph. Depth is modest only because FlowMap recomputes
+     each node's full fanin cone (quadratic on chains) — the explicit
+     stacks themselves handle 100k-deep graphs (see test_network). *)
+  let depth = 2_000 in
+  let b = Subject.Builder.create () in
+  let x = Subject.Builder.pi b "x" in
+  let y = Subject.Builder.pi b "y" in
+  let n = ref (Subject.Builder.nand b x y) in
+  for _ = 2 to depth do
+    n := Subject.Builder.raw_nand b !n y
+  done;
+  Subject.Builder.output b "o" !n;
+  let g = Subject.Builder.finish b in
+  let cover = Flowmap.map ~k:4 g in
+  check tbool "labels consistent" true (Flowmap.check_labels_optimal cover);
+  List.iter
+    (fun asg ->
+      let expected = List.assoc "o" (Subject.eval g asg) in
+      check tbool "eval matches subject" expected
+        (List.assoc "o" (Flowmap.eval cover asg)))
+    [ [| true; true |]; [| true; false |]; [| false; true |] ];
+  let net = Flowmap.to_network cover in
+  Dagmap_logic.Network.validate net
+
 let test_k_too_small_rejected () =
   let g = Subject.of_network (Generators.parity 4) in
   Alcotest.check_raises "k=1 rejected"
@@ -230,5 +257,6 @@ let () =
       ( "equivalence",
         [ Alcotest.test_case "small circuits" `Quick test_equivalence;
           Alcotest.test_case "to_network" `Quick test_to_network_roundtrip;
+          Alcotest.test_case "deep chain" `Quick test_deep_chain_cover;
           Alcotest.test_case "k too small" `Quick test_k_too_small_rejected;
           Alcotest.test_case "c880 smoke" `Quick test_bigger_circuit_smoke ] ) ]

@@ -2,6 +2,7 @@
    cache-off observational equality, and the differential properties
    (tree/dag/dag-extended dominance) under both cache settings. *)
 
+open Dagmap_obs
 open Dagmap_genlib
 open Dagmap_subject
 open Dagmap_core
@@ -199,6 +200,21 @@ let test_mapper_cache_identical () =
       ("cla16", Generators.carry_lookahead_adder 16);
       ("rand", Generators.random_dag ~seed:7 ~inputs:10 ~outputs:5 ~nodes:150 ()) ]
 
+(* The process-global metrics registry aggregates the per-cache
+   counters atomically across worker domains. The conservation law
+   must hold exactly after a 4-domain run — with [mutable int]
+   counters it lost updates under contention. *)
+let test_global_registry_conservation () =
+  let g = Subject.of_network (Generators.carry_lookahead_adder 16) in
+  let db = Matchdb.prepare (Libraries.lib2_like ()) in
+  Metrics.reset_all ();
+  ignore (Parmap.map ~jobs:4 Mapper.Dag db g);
+  let v name = Option.value ~default:(-1) (Metrics.counter_value name) in
+  check tbool "global lookups recorded" true (v "matchdb.cache.lookups" > 0);
+  check tint "lookups = hits + misses across 4 domains"
+    (v "matchdb.cache.lookups")
+    (v "matchdb.cache.hits" + v "matchdb.cache.misses")
+
 (* ------------------------------------------------------------------ *)
 (* Differential properties: tree vs dag vs dag-extended, cache x2     *)
 (* ------------------------------------------------------------------ *)
@@ -268,7 +284,9 @@ let () =
             test_mapper_cache_identical ] );
       ( "counters",
         [ Alcotest.test_case "hit/miss bookkeeping" `Quick test_counters;
-          Alcotest.test_case "per-run reset" `Quick test_reset_counters ] );
+          Alcotest.test_case "per-run reset" `Quick test_reset_counters;
+          Alcotest.test_case "global registry conservation" `Quick
+            test_global_registry_conservation ] );
       ( "differential",
         [ QCheck_alcotest.to_alcotest qc_differential;
           Alcotest.test_case "footnote 3: extended = dag" `Quick

@@ -102,6 +102,27 @@ let test_latches () =
   check tint "latch output" q l.Network.latch_output;
   check tint "depth stops at latch" 1 (Network.depth net)
 
+let test_deep_chain_traversals () =
+  (* Regression: [topological_order] was recursive. The explicit
+     stack must survive chains far deeper than any fixed-size call
+     stack (bytecode builds) would allow. *)
+  let depth = 100_000 in
+  let net = Network.create ~name:"deep" () in
+  let x = Network.add_pi net "x" in
+  let prev = ref x in
+  for _ = 1 to depth do
+    prev := Network.add_logic net (Bexpr.not_ (v 0)) [| !prev |]
+  done;
+  Network.add_po net "o" !prev;
+  let order = Network.topological_order net in
+  check tint "order covers all" (depth + 1) (List.length order);
+  (* Fanins precede users even at this depth. *)
+  (match order with
+   | first :: _ -> check tint "PI first" x first
+   | [] -> Alcotest.fail "empty order");
+  check tint "depth" depth (Network.depth net);
+  Network.validate net
+
 let test_is_k_bounded () =
   let net = Network.create () in
   let pis = Array.init 5 (fun i -> Network.add_pi net (Printf.sprintf "x%d" i)) in
@@ -137,7 +158,9 @@ let () =
         [ Alcotest.test_case "topological order" `Quick test_topological_order;
           Alcotest.test_case "levels and depth" `Quick test_levels_and_depth;
           Alcotest.test_case "fanout counts" `Quick test_fanout_counts;
-          Alcotest.test_case "node truth" `Quick test_node_truth ] );
+          Alcotest.test_case "node truth" `Quick test_node_truth;
+          Alcotest.test_case "100k-deep chain" `Quick
+            test_deep_chain_traversals ] );
       ( "latches", [ Alcotest.test_case "two-phase latch" `Quick test_latches ] );
       ( "misc",
         [ Alcotest.test_case "k-bounded" `Quick test_is_k_bounded;

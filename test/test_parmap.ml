@@ -2,6 +2,7 @@
    equivalence of the mapped netlist, stats sanity, and exception
    propagation out of the worker pool. *)
 
+open Dagmap_obs
 open Dagmap_genlib
 open Dagmap_subject
 open Dagmap_core
@@ -145,6 +146,39 @@ let test_par_stats () =
   check tint "widest level" widest stats.Parmap.widest_level;
   check tbool "recommended_jobs >= 1" true (Parmap.recommended_jobs () >= 1)
 
+(* Phase timers come from the shared monotonic clock. The stats must
+   be non-negative and the recorded phases must account for the wall
+   time of the whole call — under 4 domains too, where the old
+   [Sys.time] process-CPU timers overstated phases by up to 4x. *)
+let test_stats_monotonic_timers () =
+  let g = Subject.of_network (Generators.array_multiplier 6) in
+  let db = Matchdb.prepare (Libraries.lib2_like ()) in
+  let check_run name total (s : Mapper.stats) =
+    check tbool (name ^ ": label >= 0") true (s.Mapper.label_seconds >= 0.0);
+    check tbool (name ^ ": cover >= 0") true (s.Mapper.cover_seconds >= 0.0);
+    let phases = s.Mapper.label_seconds +. s.Mapper.cover_seconds in
+    check tbool (name ^ ": phases within total") true (phases <= total +. 1e-3);
+    (* Everything outside label+cover is bookkeeping; give pool spawn
+       generous room without letting a CPU-clock regression (which
+       would multiply phase time by the domain count) slip through. *)
+    check tbool (name ^ ": phases account for total") true
+      (total -. phases <= 0.5)
+  in
+  let seq, t_seq = Clock.time (fun () -> Mapper.map Mapper.Dag db g) in
+  check_run "seq" t_seq seq.Mapper.run;
+  let (par, pstats), t_par =
+    Clock.time (fun () -> Parmap.map ~jobs:4 Mapper.Dag db g)
+  in
+  check_run "jobs=4" t_par par.Mapper.run;
+  check tbool "level sum within label time" true
+    (Array.fold_left ( +. ) 0.0 pstats.Parmap.level_seconds
+    <= par.Mapper.run.Mapper.label_seconds +. 1e-3);
+  check tbool "parallel_levels <= levels" true
+    (pstats.Parmap.parallel_levels >= 0
+    && pstats.Parmap.parallel_levels <= pstats.Parmap.levels);
+  check tbool "chunks cover parallel levels" true
+    (pstats.Parmap.chunks >= pstats.Parmap.parallel_levels)
+
 (* pi_arrival flows through the parallel labeler unchanged. *)
 let test_pi_arrival () =
   let g = Subject.of_network (Generators.carry_lookahead_adder 8) in
@@ -202,6 +236,8 @@ let () =
           Alcotest.test_case "cache off" `Quick test_no_cache_parallel ] );
       ( "stats",
         [ Alcotest.test_case "par_stats shape" `Quick test_par_stats;
+          Alcotest.test_case "monotonic phase timers" `Quick
+            test_stats_monotonic_timers;
           Alcotest.test_case "pi_arrival passthrough" `Quick test_pi_arrival ] );
       ( "errors",
         [ Alcotest.test_case "Unmappable propagates" `Quick

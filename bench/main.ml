@@ -580,17 +580,23 @@ let run_super_section () =
 
 let bench_schema = "dagmap-bench/1"
 
-let bench_row ~circuit ~library ~mode nl ~wall ~cpu =
+(* peak_rss_bytes is the process high-water mark at row creation time
+   — monotone across the run, so within one snapshot later rows carry
+   the running maximum (see Resource). Report-only; compare prints a
+   memory column but never gates on it. *)
+let bench_row ?(extra = []) ~circuit ~library ~mode nl ~wall ~cpu () =
   Json.Obj
-    [ ("circuit", Json.String circuit);
-      ("library", Json.String library);
-      ("mode", Json.String mode);
-      ("delay", Json.Float (Netlist.delay nl));
-      ("area", Json.Float (Netlist.area nl));
-      ("gates", Json.Int (Netlist.num_gates nl));
-      ("duplicated", Json.Int (Netlist.duplication nl));
-      ("wall_seconds", Json.Float wall);
-      ("cpu_seconds", Json.Float cpu) ]
+    ([ ("circuit", Json.String circuit);
+       ("library", Json.String library);
+       ("mode", Json.String mode);
+       ("delay", Json.Float (Netlist.delay nl));
+       ("area", Json.Float (Netlist.area nl));
+       ("gates", Json.Int (Netlist.num_gates nl));
+       ("duplicated", Json.Int (Netlist.duplication nl));
+       ("wall_seconds", Json.Float wall);
+       ("cpu_seconds", Json.Float cpu);
+       ("peak_rss_bytes", Json.Int (Resource.peak_rss_bytes ())) ]
+    @ extra)
 
 let run_json quick out_file =
   let open Dagmap_super in
@@ -622,7 +628,7 @@ let run_json quick out_file =
               in
               push
                 (bench_row ~circuit:cname ~library:lib_name ~mode:tag
-                   r.Mapper.netlist ~wall ~cpu))
+                   r.Mapper.netlist ~wall ~cpu ()))
             [ ("tree", Mapper.Tree); ("dag", Mapper.Dag) ])
         subjects)
     [ "lib2"; "44-1"; "44-3" ];
@@ -645,7 +651,7 @@ let run_json quick out_file =
       in
       push
         (bench_row ~circuit:cname ~library:"lib2" ~mode:"super"
-           r.Mapper.netlist ~wall ~cpu))
+           r.Mapper.netlist ~wall ~cpu ()))
     subjects;
   (* Parallel snapshot: sequential vs 4-domain labeling on the last
      (largest) circuit, plus the work-steal counters the run left in
@@ -695,6 +701,98 @@ let run_json quick out_file =
   close_out oc;
   Printf.printf "wrote %s (%d rows)\n" path (List.length !rows)
 
+(* Huge tier: `bench json huge [nodes=N] [FILE]`. One end-to-end
+   production-scale run on the arena path — generate a synthetic SoC,
+   round-trip it through BLIF with the streaming reader, decompose
+   into the flat arena, map, and verify — with every phase timed and
+   peak RSS recorded. The row lives in the same "rows" schema
+   (tier = "huge"), so `bench compare` of two huge snapshots gates on
+   its wall time exactly like the quick tier; extra fields are
+   report-only. Defaults to 400k network nodes (>= 1M subject nodes
+   after NAND2-INV decomposition); CI smoke runs nodes=100000. *)
+let run_json_huge nodes out_file =
+  let open Dagmap_blif in
+  let open Dagmap_check in
+  Metrics.reset_all ();
+  let net, gen_wall =
+    Clock.time (fun () -> Generators.synthetic_soc ~seed:1 ~nodes ())
+  in
+  Printf.printf "huge tier: %s (generated in %.1fs)\n%!" (Network.stats net)
+    gen_wall;
+  let blif_path = Filename.temp_file "dagmap_huge" ".blif" in
+  let parsed, parse_wall, arena, build_wall =
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove blif_path with Sys_error _ -> ())
+      (fun () ->
+        let oc = open_out blif_path in
+        output_string oc (Blif.write_network net);
+        close_out oc;
+        let parsed, parse_wall =
+          Clock.time (fun () -> Blif_stream.read_file blif_path)
+        in
+        let arena, build_wall =
+          Clock.time (fun () -> Arena.of_network parsed)
+        in
+        (parsed, parse_wall, arena, build_wall))
+  in
+  Printf.printf "  parsed %d network nodes in %.1fs (streaming)\n%!"
+    (Network.num_nodes parsed) parse_wall;
+  Printf.printf "  %s, built in %.1fs\n%!" (Arena.stats arena) build_wall;
+  let g = Arena.to_subject arena in
+  let db = Matchdb.prepare (Option.get (Libraries.by_name "44-1")) in
+  let r, map_wall, map_cpu =
+    Clock.time_wall_cpu (fun () -> Arena_map.map ~subject:g Mapper.Dag db arena)
+  in
+  let clean =
+    Check.structural r.Mapper.netlist = []
+    && Check.delay ~predicted:(Mapper.predicted_arrivals r) r.Mapper.netlist
+       = []
+  in
+  Printf.printf
+    "  mapped in %.1fs wall / %.1fs cpu: delay=%.2f area=%.0f gates=%d \
+     check=%s\n%!"
+    map_wall map_cpu
+    (Netlist.delay r.Mapper.netlist)
+    (Netlist.area r.Mapper.netlist)
+    (Netlist.num_gates r.Mapper.netlist)
+    (if clean then "ok" else "FAIL");
+  let row =
+    bench_row
+      ~extra:
+        [ ("tier", Json.String "huge");
+          ("network_nodes", Json.Int nodes);
+          ("subject_nodes", Json.Int (Arena.num_nodes arena));
+          ("generate_seconds", Json.Float gen_wall);
+          ("parse_seconds", Json.Float parse_wall);
+          ("arena_build_seconds", Json.Float build_wall);
+          ("arena_mem_bytes", Json.Int (Arena.mem_bytes arena));
+          ("check_clean", Json.Bool clean) ]
+      ~circuit:(Printf.sprintf "soc%d" nodes)
+      ~library:"44-1" ~mode:"dag" r.Mapper.netlist ~wall:map_wall ~cpu:map_cpu
+      ()
+  in
+  let doc =
+    Json.Obj
+      [ ("schema", Json.String bench_schema);
+        ("generated", Json.String (Clock.stamp ()));
+        ("quick", Json.Bool false);
+        ("tier", Json.String "huge");
+        ("rows", Json.List [ row ]);
+        ("metrics", Metrics.to_json ()) ]
+  in
+  let path =
+    match out_file with
+    | Some p -> p
+    | None -> Printf.sprintf "BENCH_huge_%s.json" (Clock.stamp ())
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string ~pretty:true doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (peak rss %.1f MB)\n" path
+    (float_of_int (Resource.peak_rss_bytes ()) /. 1e6);
+  if not clean then exit 1
+
 let run_compare_json new_file base_file =
   let load path =
     let ic = open_in_bin path in
@@ -724,10 +822,11 @@ let run_compare_json new_file base_file =
   let doc_new = load new_file and doc_base = load base_file in
   let base_tbl = Hashtbl.create 64 in
   List.iter (fun r -> Hashtbl.replace base_tbl (key r) r) (rows doc_base);
+  let num_opt name r = Option.bind (Json.member name r) Json.to_number in
   let ratios = ref [] in
   let quality_bad = ref false in
-  Printf.printf "%-8s %-6s %-5s | %9s | %9s | %7s\n" "circuit" "lib" "mode"
-    "base-wall" "new-wall" "ratio";
+  Printf.printf "%-8s %-6s %-5s | %9s | %9s | %7s | %s\n" "circuit" "lib"
+    "mode" "base-wall" "new-wall" "ratio" "memory (report-only)";
   List.iter
     (fun r ->
       match Hashtbl.find_opt base_tbl (key r) with
@@ -747,8 +846,21 @@ let run_compare_json new_file base_file =
                 m f (num f b) (num f r)
             end)
           [ "delay"; "area" ];
-        Printf.printf "%-8s %-6s %-5s | %8.3fs | %8.3fs | %6.2fx\n" c l m wb
-          wn ratio)
+        (* Memory column: peak RSS when both snapshots recorded it.
+           Older baselines predate the field, and the reading is a
+           process-wide high-water mark, so this is informational
+           only — never a gate. *)
+        let mem =
+          match num_opt "peak_rss_bytes" b, num_opt "peak_rss_bytes" r with
+          | Some mb, Some mn when mb > 0.0 && mn > 0.0 ->
+            Printf.sprintf "%6.1f -> %6.1f MB (%.2fx)" (mb /. 1e6)
+              (mn /. 1e6) (mn /. mb)
+          | None, Some mn when mn > 0.0 ->
+            Printf.sprintf "rss %.1f MB (no baseline)" (mn /. 1e6)
+          | _ -> "-"
+        in
+        Printf.printf "%-8s %-6s %-5s | %8.3fs | %8.3fs | %6.2fx | %s\n" c l
+          m wb wn ratio mem)
     (rows doc_new);
   if !ratios = [] then failwith "bench compare: no common dag-mode rows";
   let geo =
@@ -814,11 +926,30 @@ let run_bechamel () =
 let () =
   let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "json" then begin
-    (* Machine-readable snapshot: `json [quick] [FILE]`. *)
+    (* Machine-readable snapshot: `json [quick] [FILE]` or
+       `json huge [nodes=N] [FILE]`. *)
     let rest = Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)) in
-    let jq = List.mem "quick" rest in
-    let out = List.find_opt (fun a -> a <> "quick") rest in
-    run_json jq out;
+    let is_opt a =
+      a = "quick" || a = "huge"
+      || String.length a > 6 && String.sub a 0 6 = "nodes="
+    in
+    let out = List.find_opt (fun a -> not (is_opt a)) rest in
+    if List.mem "huge" rest then begin
+      let nodes =
+        List.fold_left
+          (fun acc a ->
+            if String.length a > 6 && String.sub a 0 6 = "nodes=" then
+              match
+                int_of_string_opt (String.sub a 6 (String.length a - 6))
+              with
+              | Some n when n > 0 -> n
+              | _ -> failwith ("bench json huge: bad " ^ a)
+            else acc)
+          400_000 rest
+      in
+      run_json_huge nodes out
+    end
+    else run_json (List.mem "quick" rest) out;
     exit 0
   end;
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "compare" then begin

@@ -35,15 +35,40 @@ let named_circuits () =
     ("lfsr16", fun () -> Generators.lfsr 16);
     ("pparity32", fun () -> Generators.pipelined_parity 32 4) ]
 
-let load_circuit spec =
+(* Sized generator specs: "chain:<n>" and "soc:<n>[:seed]". Checked
+   before the file-system fallback, so the huge-tier workloads are
+   reachable from every subcommand without writing a BLIF first. *)
+let generated_circuit spec =
+  let size what s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> n
+    | _ -> failwith (Printf.sprintf "bad %s in circuit spec %S" what spec)
+  in
+  match String.split_on_char ':' spec with
+  | [ "chain"; n ] -> Some (Generators.nand_chain (size "length" n))
+  | [ "soc"; n ] -> Some (Generators.synthetic_soc ~nodes:(size "size" n) ())
+  | [ "soc"; n; seed ] ->
+    Some
+      (Generators.synthetic_soc ~seed:(size "seed" seed)
+         ~nodes:(size "size" n) ())
+  | _ -> None
+
+let load_circuit ?(stream = false) spec =
   match List.assoc_opt spec (named_circuits ()) with
   | Some f -> f ()
   | None ->
-    if Sys.file_exists spec then Dagmap_blif.Blif.read_file spec
-    else
-      failwith
-        (Printf.sprintf
-           "unknown circuit %S (not a named benchmark, not a file)" spec)
+    (match generated_circuit spec with
+     | Some net -> net
+     | None ->
+       if Sys.file_exists spec then
+         if stream then Dagmap_blif.Blif_stream.read_file spec
+         else Dagmap_blif.Blif.read_file spec
+       else
+         failwith
+           (Printf.sprintf
+              "unknown circuit %S (not a named benchmark, not chain:<n> or \
+               soc:<n>[:seed], not a file)"
+              spec))
 
 let load_library spec =
   match Libraries.by_name spec with
@@ -114,13 +139,13 @@ let print_mapper_stats ~cache_enabled (run : Mapper.stats)
       p.Parmap.level_seconds.(!slowest)
       (Array.fold_left ( +. ) 0.0 p.Parmap.level_seconds)
 
-let run_map circuit lib_spec super_file mode_s opt recover buffer out_file verilog_file show_path verify jobs show_stats no_cache trace_out metrics_json =
+let run_map circuit lib_spec super_file mode_s opt recover buffer out_file verilog_file show_path verify jobs show_stats no_cache trace_out metrics_json arena stream =
   if trace_out <> None then begin
     Span.reset ();
     Span.set_enabled true
   end;
   if metrics_json <> None then Metrics.reset_all ();
-  let net = load_circuit circuit in
+  let net = load_circuit ~stream circuit in
   let net =
     if opt then begin
       let optimized, stats = Dagmap_opt.Netopt.optimize net in
@@ -151,9 +176,16 @@ let run_map circuit lib_spec super_file mode_s opt recover buffer out_file veril
     (List.length lib.Libraries.patterns);
   let jobs = resolve_jobs jobs in
   let cache = not no_cache in
+  if arena && jobs > 1 then
+    failwith "--arena labels sequentially; drop --jobs or --arena";
   let t0 = Clock.now () in
   let mode_name, nl, pattern_result, par_stats =
     match mode with
+    | Pattern_mode m when arena ->
+      let a = Arena.of_subject sg in
+      Printf.printf "%s\n" (Arena.stats a);
+      let result = Arena_map.map ~cache ~subject:sg m db a in
+      (Mapper.mode_name m, result.Mapper.netlist, Some (m, result), None)
     | Pattern_mode m ->
       let result, par =
         if jobs > 1 then
@@ -163,6 +195,8 @@ let run_map circuit lib_spec super_file mode_s opt recover buffer out_file veril
       in
       (Mapper.mode_name m, result.Mapper.netlist, Some (m, result), par)
     | Cut_mode ->
+      if arena then
+        failwith "--arena applies to pattern modes (tree/dag/dag-extended)";
       let bdb = Dagmap_cutmap.Boolean_match.prepare lib in
       let r = Dagmap_cutmap.Cut_mapper.map bdb sg in
       ("cut", r.Dagmap_cutmap.Cut_mapper.netlist, None, None)
@@ -660,14 +694,33 @@ let map_cmd =
              after mapping. The registry is reset first, so the file \
              covers exactly this run.")
   in
+  let arena =
+    Arg.(
+      value & flag
+      & info [ "arena" ]
+          ~doc:
+            "Label and cover on the flat struct-of-arrays arena core \
+             instead of the boxed subject graph. Bit-identical results; \
+             sequential labeling only (exclusive with $(b,--jobs)).")
+  in
+  let stream =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "Parse BLIF circuit files with the streaming reader \
+             (constant-memory line handling; identical networks and \
+             diagnostics to the default reader).")
+  in
   let term =
     Term.(
       ret
-        (const (fun c l sf m op r b o vf p v j st nc tr mj ->
-             wrap (fun () -> run_map c l sf m op r b o vf p v j st nc tr mj))
+        (const (fun c l sf m op r b o vf p v j st nc tr mj ar sr ->
+             wrap (fun () ->
+                 run_map c l sf m op r b o vf p v j st nc tr mj ar sr))
         $ circuit_arg $ lib_arg $ super_file $ mode_arg $ opt $ recover
         $ buffer $ out_file $ verilog_file $ show_path $ verify $ jobs
-        $ show_stats $ no_cache $ trace_out $ metrics_json))
+        $ show_stats $ no_cache $ trace_out $ metrics_json $ arena $ stream))
   in
   Cmd.v (Cmd.info "map" ~doc:"Map a circuit onto a gate library.") term
 

@@ -442,6 +442,210 @@ let random_dag ?(seed = 1) ?(inputs = 32) ?(outputs = 16) ~nodes () =
   if n_created > 0 then fill (min outputs n_created) 0;
   net
 
+let nand_chain n =
+  (* NAND (not NOT) links: an inverter chain would collapse under the
+     subject builder's inverter-pair cancellation, while NAND(prev, x)
+     nodes are all structurally distinct — network depth survives into
+     the subject/arena, which is what the stack-safety tests need. *)
+  let net = Network.create ~name:(Printf.sprintf "chain%d" n) () in
+  let x = Network.add_pi net "x" in
+  let prev = ref x in
+  for _ = 1 to n do
+    prev := Network.add_logic net Bexpr.(not_ (and2 (v 0) (v 1))) [| !prev; x |]
+  done;
+  Network.add_po net "o" !prev;
+  net
+
+(* ------------------------------------------------------------------ *)
+(* Huge-tier synthetic SoC                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A single connected flat netlist shaped like an SoC datapath region:
+   ranks of heterogeneous blocks (adder/multiplier slices, muxes,
+   decoders, comparators, parity trees, random glue) whose inputs come
+   from the previous rank with occasional PI and long skip
+   connections. Rank-local wiring keeps depth O(ranks) no matter how
+   many nodes are requested, so million-node instances stay mappable
+   and parallelizable; the repeated block shapes give the match cache
+   something to hit, like real SoCs do. Exactly [nodes] logic nodes
+   are created (glue blocks absorb each rank's remainder), and
+   everything is driven by Random.State, so a seed fully determines
+   the circuit — the test suite asserts byte-identical BLIF. *)
+
+let soc_ranks nodes = max 1 (min 24 (nodes / 48))
+
+let synthetic_soc ?(seed = 1) ~nodes () =
+  if nodes < 1 then invalid_arg "Generators.synthetic_soc";
+  let st = Random.State.make [| 0x50C; seed; nodes |] in
+  let net = Network.create ~name:(Printf.sprintf "soc%d_%d" seed nodes) () in
+  let n_pis = min 512 (max 16 (nodes / 2048)) in
+  let pis = declare_vector net "x" n_pis in
+  let ranks = soc_ranks nodes in
+  let prev_rank = ref pis in
+  (* Reservoir of older signals for skip connections. *)
+  let older = ref pis in
+  let pick () =
+    let from arr = arr.(Random.State.int st (Array.length arr)) in
+    let r = Random.State.int st 100 in
+    if r < 80 then from !prev_rank
+    else if r < 92 then from pis
+    else from !older
+  in
+  let logic_nodes () = Network.num_nodes net - n_pis in
+  (* Block builders append their outputs to [outs]; each creates a
+     statically-known number of logic nodes. *)
+  let outs = ref [] in
+  let emit id = outs := id :: !outs in
+  let blk_add () =
+    (* 4-bit ripple slice: 17 nodes, 5 outputs. *)
+    let cin = pick () in
+    let carry = ref cin in
+    for _ = 0 to 3 do
+      let s, co = add_full_adder net (pick ()) (pick ()) !carry in
+      emit s;
+      carry := co
+    done;
+    emit !carry
+  in
+  let blk_mux () =
+    (* 4:1 mux tree: 3 nodes, 1 output. *)
+    let mux a b s =
+      Network.add_logic net
+        Bexpr.(or2 (and2 (v 2) (v 0)) (and2 (not_ (v 2)) (v 1)))
+        [| a; b; s |]
+    in
+    let m0 = mux (pick ()) (pick ()) (pick ()) in
+    let m1 = mux (pick ()) (pick ()) (pick ()) in
+    emit (mux m0 m1 (pick ()))
+  in
+  let blk_parity () =
+    (* 8-input XOR tree: 7 nodes, 1 output. *)
+    let layer xs =
+      let rec go = function
+        | a :: b :: rest ->
+          Network.add_logic net half_sum [| a; b |] :: go rest
+        | rest -> rest
+      in
+      go xs
+    in
+    let rec reduce = function
+      | [ x ] -> x
+      | xs -> reduce (layer xs)
+    in
+    emit (reduce (List.init 8 (fun _ -> pick ())))
+  in
+  let blk_decode () =
+    (* 3:8 one-hot decoder: 8 nodes, 8 outputs. *)
+    let a = pick () and b = pick () and c = pick () in
+    for k = 0 to 7 do
+      let lit i on = if on then Bexpr.var i else Bexpr.not_ (Bexpr.var i) in
+      let expr =
+        Bexpr.and_list
+          [ lit 0 (k land 1 <> 0); lit 1 (k land 2 <> 0); lit 2 (k land 4 <> 0) ]
+      in
+      emit (Network.add_logic net expr [| a; b; c |])
+    done
+  in
+  let blk_cmp () =
+    (* 4-bit equality + less-than: 11 nodes, 2 outputs. *)
+    let picked n =
+      let arr = Array.make n pis.(0) in
+      for i = 0 to n - 1 do
+        arr.(i) <- pick ()
+      done;
+      arr
+    in
+    let a = picked 4 in
+    let b = picked 4 in
+    let eqs =
+      Array.map2
+        (fun x y -> Network.add_logic net Bexpr.(not_ (xor2 (v 0) (v 1))) [| x; y |])
+        a b
+    in
+    emit
+      (Network.add_logic net
+         (Bexpr.and_list (List.init 4 Bexpr.var))
+         eqs);
+    let lt = ref (Network.add_logic net Bexpr.(and2 (not_ (v 0)) (v 1)) [| a.(0); b.(0) |]) in
+    for i = 1 to 3 do
+      (* lt' = (!a & b) | (a==b) & lt *)
+      lt :=
+        Network.add_logic net
+          Bexpr.(or2 (and2 (not_ (v 0)) (v 1)) (and2 (v 2) (v 3)))
+          [| a.(i); b.(i); eqs.(i); !lt |]
+    done;
+    emit !lt
+  in
+  let blk_glue count =
+    (* Exactly [count] random-function nodes chained loosely. *)
+    let recent = ref [] in
+    for _ = 1 to count do
+      let arity = 2 + Random.State.int st 3 in
+      let fanins = Array.make arity pis.(0) in
+      for i = 0 to arity - 1 do
+        fanins.(i) <-
+          (match !recent with
+           | r :: _ when i = 0 && Random.State.bool st -> r
+           | _ -> pick ())
+      done;
+      let id = Network.add_logic net (random_function st arity) fanins in
+      recent := id :: !recent;
+      match !recent with
+      | a :: b :: c :: d :: _ -> recent := [ a; b; c; d ]; emit a
+      | _ -> emit id
+    done
+  in
+  let spine = ref pis.(0) in
+  let per_rank = nodes / ranks in
+  for rank = 0 to ranks - 1 do
+    outs := [];
+    let budget =
+      if rank = ranks - 1 then nodes - logic_nodes () else per_rank
+    in
+    let floor = logic_nodes () in
+    (* Guaranteed depth spine: one node chaining through every rank. *)
+    if budget > 0 then begin
+      spine :=
+        Network.add_logic net Bexpr.(xor2 (v 0) (v 1)) [| !spine; pick () |];
+      emit !spine
+    end;
+    let remaining () = budget - (logic_nodes () - floor) in
+    while remaining () >= 20 do
+      match Random.State.int st 5 with
+      | 0 -> blk_add ()
+      | 1 -> blk_mux ()
+      | 2 -> blk_parity ()
+      | 3 -> blk_decode ()
+      | _ -> blk_cmp ()
+    done;
+    let r = remaining () in
+    if r > 0 then blk_glue r;
+    let rank_outs = Array.of_list (List.rev !outs) in
+    if Array.length rank_outs > 0 then begin
+      (* Refresh the skip reservoir with a sample of this rank. *)
+      let n_sample = min 64 (Array.length rank_outs) in
+      let sample = Array.make n_sample rank_outs.(0) in
+      for i = 0 to n_sample - 1 do
+        sample.(i) <- rank_outs.(Random.State.int st (Array.length rank_outs))
+      done;
+      older := Array.append (if Array.length !older > 512 then sample else !older) sample;
+      prev_rank := rank_outs
+    end
+  done;
+  (* Outputs: the last rank's signals (capped), plus the spine. *)
+  let chosen = Hashtbl.create 64 in
+  let n_out = ref 0 in
+  let emit_po id =
+    if not (Hashtbl.mem chosen id) then begin
+      Hashtbl.replace chosen id ();
+      Network.add_po net (Printf.sprintf "o%d" !n_out) id;
+      incr n_out
+    end
+  in
+  emit_po !spine;
+  Array.iter (fun id -> if !n_out < 256 then emit_po id) !prev_rank;
+  net
+
 let combine ~name parts =
   let net = Network.create ~name () in
   List.iteri

@@ -67,6 +67,23 @@ val random_dag :
     earlier signals with a recency bias that yields realistic depth.
     Deterministic for a given seed. *)
 
+val nand_chain : int -> Network.t
+(** [nand_chain n]: one PI [x], [n] chained NAND nodes
+    ([n_i = NAND(n_(i-1), x)]), one output. Every network node
+    survives subject construction (NAND links are structurally
+    distinct, unlike an inverter chain, which would cancel), so this
+    is the canonical stack-safety / deep-graph scale workload. *)
+
+val synthetic_soc : ?seed:int -> nodes:int -> unit -> Network.t
+(** [synthetic_soc ~nodes ()]: a single connected SoC-like flat
+    netlist with exactly [nodes] logic nodes — ranks of heterogeneous
+    datapath blocks (adder slices, muxes, decoders, comparators,
+    parity trees, random glue) wired rank-to-rank with PI and skip
+    connections. Depth is [O(ranks)] (at most 24 ranks) independent
+    of [nodes], so million-node instances remain shallow enough to
+    map and parallelize. Fully determined by [seed] (default 1):
+    the same seed yields a byte-identical circuit. *)
+
 val combine : name:string -> Network.t list -> Network.t
 (** Disjoint union of several networks into one (inputs and outputs
     prefixed per part to stay unique). Parts must be combinational. *)

@@ -1,0 +1,43 @@
+(** Arena-native mapping core: the paper's labeling DP and cover
+    construction running directly on the flat {!Arena} fanin vectors.
+
+    This is an independent reimplementation of
+    {!Matcher}/{!Matchdb}/{!Mapper} over int indices instead of boxed
+    [Subject.kind] values — no variant allocation in the hot loop,
+    arrival labels in an off-heap float vector, match enumeration
+    reading two int loads per node. It is required to be
+    {e bit-identical} to the legacy path: same labels, same best
+    matches (physically the same patterns, equal pins and covered
+    sets), same cover netlist, same matches-tried counts, with and
+    without the match cache, in every mode. [test/test_arena.ml]
+    enforces this across the full mode x jobs x cache x library
+    matrix; any intentional change to one side must land on both. *)
+
+open Dagmap_subject
+
+type labels = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val label :
+  ?pi_arrival:(int -> float) ->
+  ?cache:bool ->
+  Mapper.mode ->
+  Matchdb.t ->
+  Arena.t ->
+  labels * Matcher.mtch option array * (int * int)
+(** Labeling pass; mirrors {!Mapper.label} ([cache] here is a flag —
+    the arena cache is created internally). Raises
+    {!Mapper.Unmappable} as the legacy pass does. *)
+
+val cover : Arena.t -> subject:Subject.t -> Matcher.mtch option array -> Netlist.t
+(** Cover construction from a completed best-match array. [subject]
+    must be the boxed view of the arena (it becomes
+    [Netlist.source]). *)
+
+val map :
+  ?cache:bool -> ?subject:Subject.t -> Mapper.mode -> Matchdb.t -> Arena.t ->
+  Mapper.result
+(** End-to-end arena mapping, returning a plain {!Mapper.result} so
+    every downstream consumer (STA, [lib/check], bench, reports)
+    works unchanged. [subject] avoids a redundant {!Arena.to_subject}
+    when the caller already holds the boxed view; it must describe
+    the same graph. *)

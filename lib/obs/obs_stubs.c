@@ -9,6 +9,7 @@
    allocation. */
 
 #include <time.h>
+#include <sys/resource.h>
 #include <caml/mlvalues.h>
 #include <caml/alloc.h>
 
@@ -33,5 +34,23 @@ CAMLprim value dagmap_obs_cputime_ns(value unit)
   return caml_copy_int64(ns_of(CLOCK_PROCESS_CPUTIME_ID));
 #else
   return caml_copy_int64((int64_t)(clock() * (1000000000.0 / CLOCKS_PER_SEC)));
+#endif
+}
+
+/* Peak resident set size of the process, in bytes; 0 if unavailable.
+   getrusage reports ru_maxrss in kilobytes on Linux and in bytes on
+   macOS.  Resource.peak_rss_bytes prefers /proc/self/status (whose
+   VmHWM has the same definition) and uses this as the portable
+   fallback. */
+CAMLprim value dagmap_obs_maxrss_bytes(value unit)
+{
+  (void)unit;
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0)
+    return caml_copy_int64(0);
+#ifdef __APPLE__
+  return caml_copy_int64((int64_t)ru.ru_maxrss);
+#else
+  return caml_copy_int64((int64_t)ru.ru_maxrss * 1024);
 #endif
 }

@@ -1,0 +1,32 @@
+external maxrss_bytes : unit -> int64 = "dagmap_obs_maxrss_bytes"
+
+(* VmHWM in /proc/self/status is the kernel's own high-water mark in
+   kB; parse it without materialising the file. *)
+let proc_vmhwm_bytes () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec scan () =
+          match input_line ic with
+          | exception End_of_file -> None
+          | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              let digits =
+                String.to_seq (String.sub line 6 (String.length line - 6))
+                |> Seq.filter (fun c -> c >= '0' && c <= '9')
+                |> String.of_seq
+              in
+              match int_of_string_opt digits with
+              | Some kb -> Some (kb * 1024)
+              | None -> None
+            else scan ()
+        in
+        scan ())
+
+let peak_rss_bytes () =
+  match proc_vmhwm_bytes () with
+  | Some bytes -> bytes
+  | None -> Int64.to_int (maxrss_bytes ())

@@ -106,60 +106,6 @@ end
 (* Decomposition                                                       *)
 (* ------------------------------------------------------------------ *)
 
-(* Signals during decomposition: a subject literal or a constant.
-   Literals carry a phase so De Morgan transfers inversions to where
-   they are absorbed by NAND inputs. *)
-type signal =
-  | Sig_const of bool
-  | Sig_lit of int * bool   (* node, inverted? *)
-
-let neg = function
-  | Sig_const b -> Sig_const (not b)
-  | Sig_lit (n, ph) -> Sig_lit (n, not ph)
-
-let materialize b = function
-  | Sig_const _ -> invalid_arg "Subject: constant feeds a gate"
-  | Sig_lit (n, false) -> n
-  | Sig_lit (n, true) -> Builder.inv b n
-
-(* NAND of two signals with constant folding:
-   nand(0, _) = 1;  nand(1, x) = !x. *)
-let sig_nand b x y =
-  match x, y with
-  | Sig_const false, _ | _, Sig_const false -> Sig_const true
-  | Sig_const true, s | s, Sig_const true -> neg s
-  | (Sig_lit _ as sx), (Sig_lit _ as sy) ->
-    Sig_lit (Builder.nand b (materialize b sx) (materialize b sy), false)
-
-let rec build b env complement (e : Bexpr.t) : signal =
-  match e with
-  | Bexpr.Const c -> Sig_const (c <> complement)
-  | Bexpr.Var i ->
-    let s = env i in
-    if complement then neg s else s
-  | Bexpr.Not a -> build b env (not complement) a
-  | Bexpr.And (x, y) ->
-    let n = sig_nand b (build b env false x) (build b env false y) in
-    if complement then n else neg n
-  | Bexpr.Or (x, y) ->
-    let n = sig_nand b (build b env true x) (build b env true y) in
-    if complement then neg n else n
-  | Bexpr.Xor (x, y) -> begin
-    let sx = build b env false x in
-    let sy = build b env false y in
-    match sx, sy with
-    | Sig_const c, s | s, Sig_const c ->
-      let r = if c then neg s else s in
-      if complement then neg r else r
-    | Sig_lit _, Sig_lit _ ->
-      (* SOP form nand(nand(x,!y), nand(!x,y)) — the shape SIS-style
-         SOP decomposition produces. (The shared four-NAND form is
-         smaller but its internal fanout blocks larger tree-pattern
-         matches under the one-to-one match classes.) *)
-      let r = sig_nand b (sig_nand b sx (neg sy)) (sig_nand b (neg sx) sy) in
-      if complement then neg r else r
-  end
-
 type style =
   | Balanced
   | Left_skew
@@ -212,43 +158,153 @@ let rec restyle style (e : Bexpr.t) : Bexpr.t =
     in
     rebuild (fun a b -> Bexpr.Or (a, b)) (collect e)
 
-let of_network ?(style = Balanced) net =
+(* The decomposition is generic over the builder so alternate node
+   stores (the flat arena in [Dagmap_core.Arena]) reuse the exact same
+   De Morgan walk and produce structurally identical subject graphs. *)
+module type BUILD_OPS = sig
+  type b
+
+  val pi : b -> string -> int
+  val inv : b -> int -> int
+  val nand : b -> int -> int -> int
+  val output : b -> string -> int -> unit
+  val const_output : b -> string -> bool -> unit
+end
+
+module Decompose (B : BUILD_OPS) = struct
+  (* Signals during decomposition: a subject literal or a constant.
+     Literals carry a phase so De Morgan transfers inversions to where
+     they are absorbed by NAND inputs. *)
+  type signal =
+    | Sig_const of bool
+    | Sig_lit of int * bool   (* node, inverted? *)
+
+  let neg = function
+    | Sig_const b -> Sig_const (not b)
+    | Sig_lit (n, ph) -> Sig_lit (n, not ph)
+
+  let materialize b = function
+    | Sig_const _ -> invalid_arg "Subject: constant feeds a gate"
+    | Sig_lit (n, false) -> n
+    | Sig_lit (n, true) -> B.inv b n
+
+  (* NAND of two signals with constant folding:
+     nand(0, _) = 1;  nand(1, x) = !x. *)
+  let sig_nand b x y =
+    match x, y with
+    | Sig_const false, _ | _, Sig_const false -> Sig_const true
+    | Sig_const true, s | s, Sig_const true -> neg s
+    | (Sig_lit _ as sx), (Sig_lit _ as sy) ->
+      Sig_lit (B.nand b (materialize b sx) (materialize b sy), false)
+
+  let rec build b env complement (e : Bexpr.t) : signal =
+    match e with
+    | Bexpr.Const c -> Sig_const (c <> complement)
+    | Bexpr.Var i ->
+      let s = env i in
+      if complement then neg s else s
+    | Bexpr.Not a -> build b env (not complement) a
+    | Bexpr.And (x, y) ->
+      let n = sig_nand b (build b env false x) (build b env false y) in
+      if complement then n else neg n
+    | Bexpr.Or (x, y) ->
+      let n = sig_nand b (build b env true x) (build b env true y) in
+      if complement then neg n else n
+    | Bexpr.Xor (x, y) -> begin
+      let sx = build b env false x in
+      let sy = build b env false y in
+      match sx, sy with
+      | Sig_const c, s | s, Sig_const c ->
+        let r = if c then neg s else s in
+        if complement then neg r else r
+      | Sig_lit _, Sig_lit _ ->
+        (* SOP form nand(nand(x,!y), nand(!x,y)) — the shape SIS-style
+           SOP decomposition produces. (The shared four-NAND form is
+           smaller but its internal fanout blocks larger tree-pattern
+           matches under the one-to-one match classes.) *)
+        let r = sig_nand b (sig_nand b sx (neg sy)) (sig_nand b (neg sx) sy) in
+        if complement then neg r else r
+    end
+
+  let run ?(style = Balanced) b net =
+    let signal_of = Array.make (Network.num_nodes net) (Sig_const false) in
+    (* Subject PI order contract: network PIs in declaration order,
+       then latch outputs in latch order (consumers such as simulation
+       and equivalence checking rely on this). *)
+    List.iter
+      (fun id ->
+        let n = Network.node net id in
+        signal_of.(id) <- Sig_lit (B.pi b n.Network.name, false))
+      (Network.pis net);
+    List.iter
+      (fun l ->
+        let n = Network.node net l.Network.latch_output in
+        signal_of.(l.Network.latch_output) <-
+          Sig_lit (B.pi b n.Network.name, false))
+      (Network.latches net);
+    List.iter
+      (fun id ->
+        let n = Network.node net id in
+        match n.Network.kind with
+        | Network.Pi | Network.Latch_out -> ()
+        | Network.Logic ->
+          let env i = signal_of.(n.Network.fanins.(i)) in
+          signal_of.(id) <- build b env false (restyle style n.Network.expr))
+      (Network.topological_order net);
+    let emit name id =
+      match signal_of.(id) with
+      | Sig_const c -> B.const_output b name c
+      | Sig_lit _ as s -> B.output b name (materialize b s)
+    in
+    List.iter (fun (po_name, id) -> emit po_name id) (Network.pos net);
+    List.iteri
+      (fun i l ->
+        emit (Printf.sprintf "$latch_in%d" i) l.Network.latch_input)
+      (Network.latches net)
+end
+
+module Builder_decompose = Decompose (struct
+  type b = Builder.t
+
+  let pi = Builder.pi
+  let inv = Builder.inv
+  let nand = Builder.nand
+  let output = Builder.output
+  let const_output = Builder.const_output
+end)
+
+let of_network ?style net =
   let b = Builder.create () in
-  let signal_of = Array.make (Network.num_nodes net) (Sig_const false) in
-  (* Subject PI order contract: network PIs in declaration order,
-     then latch outputs in latch order (consumers such as simulation
-     and equivalence checking rely on this). *)
-  List.iter
-    (fun id ->
-      let n = Network.node net id in
-      signal_of.(id) <- Sig_lit (Builder.pi b n.Network.name, false))
-    (Network.pis net);
-  List.iter
-    (fun l ->
-      let n = Network.node net l.Network.latch_output in
-      signal_of.(l.Network.latch_output) <-
-        Sig_lit (Builder.pi b n.Network.name, false))
-    (Network.latches net);
-  List.iter
-    (fun id ->
-      let n = Network.node net id in
-      match n.Network.kind with
-      | Network.Pi | Network.Latch_out -> ()
-      | Network.Logic ->
-        let env i = signal_of.(n.Network.fanins.(i)) in
-        signal_of.(id) <- build b env false (restyle style n.Network.expr))
-    (Network.topological_order net);
-  let emit name id =
-    match signal_of.(id) with
-    | Sig_const c -> Builder.const_output b name c
-    | Sig_lit _ as s -> Builder.output b name (materialize b s)
-  in
-  List.iter (fun (po_name, id) -> emit po_name id) (Network.pos net);
-  List.iteri
-    (fun i l ->
-      emit (Printf.sprintf "$latch_in%d" i) l.Network.latch_input)
-    (Network.latches net);
+  Builder_decompose.run ?style b net;
   Builder.finish ~n_latches:(List.length (Network.latches net)) b
+
+(* Assembly from pre-validated flat parts (the arena conversion
+   boundary). Fanins must point at strictly earlier nodes — the same
+   topological invariant [Builder] maintains by construction. *)
+let of_parts ~kinds ~names ~outputs ~const_outputs ~num_pis ~n_latches =
+  let n = Array.length kinds in
+  if Array.length names <> n then
+    invalid_arg "Subject.of_parts: names/kinds length mismatch";
+  let pis = ref 0 in
+  Array.iteri
+    (fun i k ->
+      match k with
+      | Spi -> incr pis
+      | Sinv x ->
+        if x < 0 || x >= i then invalid_arg "Subject.of_parts: fanin order"
+      | Snand (x, y) ->
+        if x < 0 || x >= i || y < 0 || y >= i then
+          invalid_arg "Subject.of_parts: fanin order")
+    kinds;
+  if !pis <> num_pis then invalid_arg "Subject.of_parts: num_pis mismatch";
+  List.iter
+    (fun o ->
+      if o.out_node < 0 || o.out_node >= n then
+        invalid_arg "Subject.of_parts: output node out of range")
+    outputs;
+  if n_latches < 0 || n_latches > List.length outputs then
+    invalid_arg "Subject.of_parts: n_latches out of range";
+  { kinds; names; outputs; const_outputs; num_pis; n_latches }
 
 (* ------------------------------------------------------------------ *)
 (* Accessors                                                           *)

@@ -46,6 +46,47 @@ val of_network : ?style:style -> Network.t -> t
     the network's PI declaration order followed by latch outputs in
     latch order. *)
 
+val of_parts :
+  kinds:kind array ->
+  names:string array ->
+  outputs:output list ->
+  const_outputs:(string * bool) list ->
+  num_pis:int ->
+  n_latches:int ->
+  t
+(** Assemble a subject graph from pre-built flat parts (used by the
+    arena conversion boundary in [Dagmap_core.Arena]). Validates the
+    topological fanin invariant (every fanin strictly precedes its
+    node) and the PI count; raises [Invalid_argument] otherwise. *)
+
+val restyle : style -> Bexpr.t -> Bexpr.t
+(** Re-associate n-ary AND/OR chains in an expression per the style;
+    exposed so alternate decomposition backends share it. *)
+
+(** Builder operations the De Morgan decomposition needs; implemented
+    by {!Builder} and by arena builders. *)
+module type BUILD_OPS = sig
+  type b
+
+  val pi : b -> string -> int
+  val inv : b -> int -> int
+  val nand : b -> int -> int -> int
+  val output : b -> string -> int -> unit
+  val const_output : b -> string -> bool -> unit
+end
+
+(** The NAND2-INV decomposition, generic over the node store. Two
+    backends driven through [Decompose] with equivalent [BUILD_OPS]
+    produce structurally identical graphs — this is the contract the
+    arena differential suite locks down. *)
+module Decompose (B : BUILD_OPS) : sig
+  val run : ?style:style -> B.b -> Network.t -> unit
+  (** Decompose [net] into [b]: PIs (declaration order, then latch
+      outputs), logic in topological order, then outputs (POs, then
+      [$latch_in<i>] pseudo-outputs). The caller finishes the builder
+      itself (latch count = [List.length (Network.latches net)]). *)
+end
+
 val num_nodes : t -> int
 val kind : t -> int -> kind
 val fanout_counts : t -> int array

@@ -251,6 +251,93 @@ let test_random_dag_determinism () =
   let c = Generators.random_dag ~seed:43 ~inputs:8 ~outputs:4 ~nodes:50 () in
   Network.validate c
 
+(* --- huge-tier emitters (nand_chain / synthetic_soc) ----------------- *)
+
+let soc_ranks nodes = max 1 (min 24 (nodes / 48))
+
+let qc_soc_invariants =
+  QCheck.Test.make ~count:25 ~name:"synthetic_soc invariants"
+    QCheck.(pair (int_range 50 4_000) (int_range 0 1_000))
+    (fun (nodes, seed) ->
+      let net = Generators.synthetic_soc ~seed ~nodes () in
+      Network.validate net;
+      (* Exact logic node count: glue blocks absorb the remainder. *)
+      let logic = ref 0 in
+      Network.iter_nodes net (fun n ->
+          if n.Network.kind = Network.Logic then incr logic);
+      if !logic <> nodes then
+        QCheck.Test.fail_reportf "logic count %d <> %d" !logic nodes;
+      (* Depth is pinned by the rank structure: the XOR spine forces at
+         least one level per rank; rank-local wiring bounds it above
+         independently of [nodes] (observed <= ~4x ranks; 8x + 10 is
+         the alarm threshold, not the design target). *)
+      let ranks = soc_ranks nodes in
+      let depth = Network.depth net in
+      if depth < ranks || depth > (8 * ranks) + 10 then
+        QCheck.Test.fail_reportf "depth %d outside [%d, %d]" depth ranks
+          ((8 * ranks) + 10);
+      (* Fanout distribution: reconvergent, mostly-connected logic —
+         a bounded fraction of dangling nodes (non-output last-rank
+         tails), and real fanout sharing once there are ranks to
+         share across. *)
+      let fo = Network.fanout_counts net in
+      let dangling = ref 0 and maxfo = ref 0 in
+      Network.iter_nodes net (fun n ->
+          if n.Network.kind = Network.Logic then begin
+            if fo.(n.Network.id) = 0 then incr dangling;
+            if fo.(n.Network.id) > !maxfo then maxfo := fo.(n.Network.id)
+          end);
+      if !dangling > (nodes / 8) + 8 then
+        QCheck.Test.fail_reportf "%d dangling logic nodes of %d" !dangling
+          nodes;
+      if nodes >= 200 && !maxfo < 3 then
+        QCheck.Test.fail_reportf "no fanout sharing (max fanout %d)" !maxfo;
+      true)
+
+let qc_soc_determinism =
+  QCheck.Test.make ~count:10 ~name:"synthetic_soc seeded determinism"
+    QCheck.(pair (int_range 50 2_000) (int_range 0 100))
+    (fun (nodes, seed) ->
+      let emit () =
+        Dagmap_blif.Blif.write_network
+          (Generators.synthetic_soc ~seed ~nodes ())
+      in
+      (* Same seed: byte-identical BLIF, not merely isomorphic. *)
+      if emit () <> emit () then
+        QCheck.Test.fail_report "same seed produced different BLIF";
+      let other =
+        Dagmap_blif.Blif.write_network
+          (Generators.synthetic_soc ~seed:(seed + 1) ~nodes ())
+      in
+      if emit () = other then
+        QCheck.Test.fail_report "seed change left BLIF identical";
+      true)
+
+let test_nand_chain_structure () =
+  let n = 500 in
+  let net = Generators.nand_chain n in
+  Network.validate net;
+  let logic = ref 0 in
+  Network.iter_nodes net (fun node ->
+      if node.Network.kind = Network.Logic then incr logic);
+  check tint "logic nodes" n !logic;
+  check tint "depth = length" n (Network.depth net);
+  check tint "one pi" 1 (List.length (Network.pis net));
+  check tint "one po" 1 (List.length (Network.pos net));
+  (* Every link survives subject construction (no inverter-pair
+     cancellation): the subject has at least one node per link. *)
+  let g = Dagmap_subject.Subject.of_network net in
+  check tbool "chain survives subject" true
+    (Dagmap_subject.Subject.num_nodes g >= n);
+  (* Functional spot-check: x=0 makes every link output 1; x=1 makes
+     the chain alternate, so the last output is n mod 2 = 0 -> 1. *)
+  let out words = List.assoc "o" (Simulate.network net words) in
+  let v = out [| 0b10L |] in
+  check tbool "x=0 column" true (Int64.logand v 1L = 1L);
+  check tbool "x=1 column" true
+    (Int64.logand (Int64.shift_right_logical v 1) 1L
+    = if n mod 2 = 0 then 1L else 0L)
+
 let test_combine () =
   let net =
     Generators.combine ~name:"both"
@@ -342,6 +429,10 @@ let () =
         [ Alcotest.test_case "random dag determinism" `Quick
             test_random_dag_determinism;
           Alcotest.test_case "combine" `Quick test_combine ] );
+      ( "huge-tier",
+        [ QCheck_alcotest.to_alcotest qc_soc_invariants;
+          QCheck_alcotest.to_alcotest qc_soc_determinism;
+          Alcotest.test_case "nand chain" `Quick test_nand_chain_structure ] );
       ( "sequential",
         [ Alcotest.test_case "lfsr" `Quick test_lfsr_structure;
           Alcotest.test_case "pipelined parity" `Quick

@@ -50,6 +50,18 @@ let test_clock_stamp_shape () =
         Alcotest.failf "stamp %S: non-digit at %d" s i)
     s
 
+(* --- resource -------------------------------------------------------- *)
+
+let test_peak_rss () =
+  (* A running test binary has certainly touched more than a megabyte,
+     and the high-water mark never decreases. *)
+  let a = Resource.peak_rss_bytes () in
+  check tbool "positive and plausible" true (a > 1_048_576);
+  let ballast = Array.make (4 * 1024 * 1024) 0 in
+  let b = Resource.peak_rss_bytes () in
+  ignore (Sys.opaque_identity ballast);
+  check tbool "monotone" true (b >= a)
+
 (* --- metrics under concurrent domains ------------------------------- *)
 
 let hammer n_domains per_domain f =
@@ -375,7 +387,8 @@ let () =
     [ ( "clock",
         [ Alcotest.test_case "monotonic" `Quick test_clock_monotonic;
           Alcotest.test_case "measures" `Quick test_clock_measures;
-          Alcotest.test_case "stamp shape" `Quick test_clock_stamp_shape ] );
+          Alcotest.test_case "stamp shape" `Quick test_clock_stamp_shape;
+          Alcotest.test_case "peak rss" `Quick test_peak_rss ] );
       ( "metrics",
         [ Alcotest.test_case "counter across domains" `Quick
             test_counter_atomic_across_domains;

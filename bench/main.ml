@@ -580,6 +580,33 @@ let run_super_section () =
 
 let bench_schema = "dagmap-bench/1"
 
+(* Collision-proof default artifact names: concurrent bench runs on
+   one machine (CI matrix jobs, a serve bench next to a quick bench)
+   must never clobber each other's BENCH_*.json. The stamp has
+   one-second resolution, so the pid disambiguates processes and the
+   O_EXCL retry loop disambiguates calls within one process-second.
+   Explicit FILE arguments bypass this — the CI compare step depends
+   on choosing its own names. *)
+let fresh_bench_path prefix =
+  let rec go k =
+    let path =
+      if k = 0 then
+        Printf.sprintf "BENCH_%s%s_%d.json" prefix (Clock.stamp ())
+          (Unix.getpid ())
+      else
+        Printf.sprintf "BENCH_%s%s_%d_%d.json" prefix (Clock.stamp ())
+          (Unix.getpid ()) k
+    in
+    match
+      Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644
+    with
+    | fd ->
+      Unix.close fd;
+      path
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> go (k + 1)
+  in
+  go 0
+
 (* peak_rss_bytes is the process high-water mark at row creation time
    — monotone across the run, so within one snapshot later rows carry
    the running maximum (see Resource). Report-only; compare prints a
@@ -693,7 +720,7 @@ let run_json quick out_file =
   let path =
     match out_file with
     | Some p -> p
-    | None -> Printf.sprintf "BENCH_%s.json" (Clock.stamp ())
+    | None -> fresh_bench_path ""
   in
   let oc = open_out path in
   output_string oc (Json.to_string ~pretty:true doc);
@@ -783,7 +810,7 @@ let run_json_huge nodes out_file =
   let path =
     match out_file with
     | Some p -> p
-    | None -> Printf.sprintf "BENCH_huge_%s.json" (Clock.stamp ())
+    | None -> fresh_bench_path "huge_"
   in
   let oc = open_out path in
   output_string oc (Json.to_string ~pretty:true doc);
@@ -880,6 +907,296 @@ let run_compare_json new_file base_file =
   Printf.printf "ok: within the 25%% regression budget\n"
 
 (* ------------------------------------------------------------------ *)
+(* Serve tier: load-generate against techmapd                          *)
+(* ------------------------------------------------------------------ *)
+
+(* `bench serve [requests=N] [clients=C] [jobs=J] [queue=Q] [seed=S]
+   [attach=SOCK] [FILE]` replays fuzz-style circuits through a client
+   pool against techmapd and reports p50/p99 latency and saturation
+   throughput into a BENCH_serve_*.json snapshot. Without attach= the
+   daemon runs in-process (a Server.t on a thread) so the run also
+   exercises create/drain; attach= points at an externally started
+   daemon (the CI smoke does this to cover the real binary + SIGTERM
+   path). Every map request carries audit=1 and a reply whose audit
+   is not "ok" fails the run. After the steady-state phase an
+   overload burst of slow circuits (no retries) must observe at least
+   one busy reply — backpressure is part of the contract, not an
+   accident. *)
+
+let run_serve_bench args =
+  let open Dagmap_serve in
+  let requests = ref 1000
+  and clients = ref 4
+  and jobs = ref 4
+  and queue = ref 32
+  and seed = ref 7
+  and attach = ref None
+  and out = ref None in
+  List.iter
+    (fun a ->
+      let kv key =
+        let n = String.length key in
+        if String.length a > n && String.sub a 0 n = key then
+          Some (String.sub a n (String.length a - n))
+        else None
+      in
+      let int_of key v =
+        match int_of_string_opt v with
+        | Some n when n > 0 -> n
+        | _ -> failwith (Printf.sprintf "bench serve: bad %s%s" key v)
+      in
+      match kv "requests=" with
+      | Some v -> requests := int_of "requests=" v
+      | None -> (
+        match kv "clients=" with
+        | Some v -> clients := int_of "clients=" v
+        | None -> (
+          match kv "jobs=" with
+          | Some v -> jobs := int_of "jobs=" v
+          | None -> (
+            match kv "queue=" with
+            | Some v -> queue := int_of "queue=" v
+            | None -> (
+              match kv "seed=" with
+              | Some v -> seed := int_of "seed=" v
+              | None -> (
+                match kv "attach=" with
+                | Some v -> attach := Some v
+                | None -> out := Some a))))))
+    args;
+  (* The replay corpus: seeded random reconvergent DAGs shipped as
+     BLIF payloads, same generator family the fuzz harness uses. *)
+  let corpus =
+    Array.init 48 (fun i ->
+        let nodes = 30 + (i * 17 mod 91) in
+        let net =
+          Generators.random_dag ~seed:(!seed + i) ~inputs:12 ~outputs:8
+            ~nodes ()
+        in
+        Dagmap_blif.Blif.write_network net)
+  in
+  let in_process = !attach = None in
+  let sock =
+    match !attach with
+    | Some s -> s
+    | None ->
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "techmapd_bench_%d.sock" (Unix.getpid ()))
+  in
+  let srv, srv_thread =
+    if not in_process then (None, None)
+    else begin
+      let resolve spec =
+        match String.split_on_char ':' spec with
+        | [ "chain"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n > 0 -> Generators.nand_chain n
+          | _ -> failwith ("bench serve: bad circuit spec " ^ spec))
+        | _ -> failwith ("bench serve: unknown circuit " ^ spec)
+      in
+      let srv =
+        Server.create
+          { Server.socket_path = sock;
+            jobs = !jobs;
+            queue_max = !queue;
+            libraries =
+              [ ("lib2", Option.get (Libraries.by_name "lib2")) ];
+            resolve_circuit = Some resolve;
+            verbose = false }
+      in
+      (Some srv, Some (Thread.create Server.run srv))
+    end
+  in
+  let finally () =
+    match srv, srv_thread with
+    | Some srv, Some th ->
+      Server.stop srv;
+      Thread.join th
+    | _ -> ()
+  in
+  Fun.protect ~finally @@ fun () ->
+  (* Steady state: C clients pull request indices from a shared
+     counter; busy replies retry after a short backoff (counted), so
+     every request eventually lands unless it errors. *)
+  let next = Atomic.make 0 in
+  let ok = Atomic.make 0
+  and errs = Atomic.make 0
+  and busy_retries = Atomic.make 0
+  and audit_failures = Atomic.make 0 in
+  let lats = Array.make !requests 0.0 in
+  let status reply =
+    Option.value ~default:"?"
+      (Option.bind (Json.member "status" reply) Json.to_string_value)
+  in
+  let client_loop () =
+    let c = Client.connect sock in
+    let rec serve_one i =
+      let payload = corpus.(i mod Array.length corpus) in
+      let req =
+        match i mod 5 with
+        | 0 | 1 | 2 -> { (Proto.request Proto.Map) with Proto.audit = true }
+        | 3 -> Proto.request Proto.Check
+        | _ -> Proto.request Proto.Sta
+      in
+      let t0 = Clock.now () in
+      let reply = Client.request c ~payload req in
+      match status reply with
+      | "busy" ->
+        Atomic.incr busy_retries;
+        Thread.delay 0.002;
+        serve_one i
+      | "ok" ->
+        lats.(i) <- Clock.since t0;
+        Atomic.incr ok;
+        let audited =
+          match req.Proto.verb with
+          | Proto.Map ->
+            Option.bind (Json.member "audit" reply) Json.to_string_value
+            = Some "ok"
+          | Proto.Check ->
+            Json.member "clean" reply = Some (Json.Bool true)
+          | _ -> true
+        in
+        if not audited then Atomic.incr audit_failures
+      | s ->
+        Atomic.incr errs;
+        Printf.eprintf "bench serve: request %d -> %s: %s\n%!" i s
+          (Json.to_string reply)
+    in
+    let rec pump () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < !requests then begin
+        (try serve_one i
+         with e ->
+           Atomic.incr errs;
+           Printf.eprintf "bench serve: request %d raised %s\n%!" i
+             (Printexc.to_string e));
+        pump ()
+      end
+    in
+    pump ();
+    Client.close c
+  in
+  let t0 = Clock.now () in
+  let threads = List.init !clients (fun _ -> Thread.create client_loop ()) in
+  List.iter Thread.join threads;
+  let wall = Clock.since t0 in
+  (* Overload: fire queue_max + 8 slow requests at once with no
+     retries; the admission bound must turn the excess into busy
+     replies. A couple of rounds tolerates scheduling luck. *)
+  let overload_burst = !queue + 8 in
+  let overload_busy = Atomic.make 0 in
+  let overload_rounds = ref 0 in
+  while !overload_rounds < 5 && Atomic.get overload_busy = 0 do
+    incr overload_rounds;
+    let burst () =
+      match
+        let c = Client.connect sock in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            Client.request c
+              { (Proto.request Proto.Map) with
+                Proto.circuit = Some "chain:5000" })
+      with
+      | reply -> if status reply = "busy" then Atomic.incr overload_busy
+      | exception _ -> ()
+    in
+    let ths = List.init overload_burst (fun _ -> Thread.create burst ()) in
+    List.iter Thread.join ths
+  done;
+  (* One stats round-trip for the snapshot, then drain. *)
+  let stats_reply =
+    let c = Client.connect sock in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () -> Client.request c (Proto.request Proto.Stats))
+  in
+  let n_ok = Atomic.get ok in
+  let sorted = Array.sub lats 0 !requests in
+  Array.sort compare sorted;
+  let q p =
+    if n_ok = 0 then 0.0
+    else begin
+      (* Unanswered slots hold 0.0 and sort first; quantiles are over
+         the answered suffix. *)
+      let base = !requests - n_ok in
+      sorted.(base + min (n_ok - 1) (int_of_float (p *. float_of_int n_ok)))
+    end
+  in
+  let mean =
+    if n_ok = 0 then 0.0
+    else Array.fold_left ( +. ) 0.0 sorted /. float_of_int n_ok
+  in
+  let throughput = float_of_int n_ok /. Float.max 1e-9 wall in
+  Printf.printf
+    "serve tier: %d/%d ok in %.2fs (%.0f req/s, %d clients, %d busy \
+     retries)\n"
+    n_ok !requests wall throughput !clients
+    (Atomic.get busy_retries);
+  Printf.printf
+    "  latency p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n"
+    (q 0.50 *. 1e3) (q 0.90 *. 1e3) (q 0.99 *. 1e3) (q 1.0 *. 1e3);
+  Printf.printf "  overload: %d busy replies in %d round(s) of %d\n"
+    (Atomic.get overload_busy) !overload_rounds overload_burst;
+  let doc =
+    Json.Obj
+      [ ("schema", Json.String bench_schema);
+        ("generated", Json.String (Clock.stamp ()));
+        ("tier", Json.String "serve");
+        ("quick", Json.Bool false);
+        ("rows", Json.List []);
+        ( "serve",
+          Json.Obj
+            [ ("requests", Json.Int !requests);
+              ("clients", Json.Int !clients);
+              ("jobs", Json.Int !jobs);
+              ("queue_max", Json.Int !queue);
+              ("in_process", Json.Bool in_process);
+              ("ok", Json.Int n_ok);
+              ("errors", Json.Int (Atomic.get errs));
+              ("busy_retries", Json.Int (Atomic.get busy_retries));
+              ("audit_failures", Json.Int (Atomic.get audit_failures));
+              ("wall_seconds", Json.Float wall);
+              ("throughput_rps", Json.Float throughput);
+              ( "latency",
+                Json.Obj
+                  [ ("mean_ms", Json.Float (mean *. 1e3));
+                    ("p50_ms", Json.Float (q 0.50 *. 1e3));
+                    ("p90_ms", Json.Float (q 0.90 *. 1e3));
+                    ("p99_ms", Json.Float (q 0.99 *. 1e3));
+                    ("max_ms", Json.Float (q 1.0 *. 1e3)) ] );
+              ( "overload",
+                Json.Obj
+                  [ ("burst", Json.Int overload_burst);
+                    ("rounds", Json.Int !overload_rounds);
+                    ("busy", Json.Int (Atomic.get overload_busy)) ] );
+              ("daemon_stats", stats_reply) ] ) ]
+  in
+  let path =
+    match !out with Some p -> p | None -> fresh_bench_path "serve_"
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string ~pretty:true doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  let failed =
+    Atomic.get errs > 0
+    || Atomic.get audit_failures > 0
+    || n_ok < !requests
+    || Atomic.get overload_busy = 0
+  in
+  if failed then begin
+    Printf.printf "FAIL: errors=%d audit_failures=%d ok=%d/%d busy=%d\n"
+      (Atomic.get errs)
+      (Atomic.get audit_failures)
+      n_ok !requests
+      (Atomic.get overload_busy);
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: one Test.make per table                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -956,6 +1273,11 @@ let () =
     if Array.length Sys.argv < 4 then
       failwith "usage: bench compare NEW.json BASELINE.json";
     run_compare_json Sys.argv.(2) Sys.argv.(3);
+    exit 0
+  end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "serve" then begin
+    run_serve_bench
+      (Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)));
     exit 0
   end;
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "parallel" then begin

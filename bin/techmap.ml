@@ -1,5 +1,6 @@
 (* techmap: command-line driver for the DAG-covering technology
-   mapper. Subcommands: map, fpga, retime, libs, circuits. *)
+   mapper. Subcommands: map, fpga, retime, libs, circuits, and the
+   serve/client pair for the techmapd daemon. *)
 
 open Dagmap_logic
 open Dagmap_genlib
@@ -12,6 +13,7 @@ open Dagmap_circuits
 open Dagmap_retime
 open Dagmap_super
 open Dagmap_obs
+open Dagmap_serve
 
 let named_circuits () =
   [ ("c432", Iscas_like.c432_like);
@@ -145,6 +147,37 @@ let run_map circuit lib_spec super_file mode_s opt recover buffer out_file veril
     Span.set_enabled true
   end;
   if metrics_json <> None then Metrics.reset_all ();
+  (* A batch run killed by SIGINT/SIGTERM still flushes its
+     observability output: these hooks run from the handler installed
+     in main before the process exits. [flushed] keeps a late signal
+     from clobbering output already written normally. *)
+  let flushed = ref false in
+  Option.iter
+    (fun path ->
+      Signals.add_cleanup (fun () ->
+          if not !flushed then begin
+            Span.write_chrome path;
+            Printf.eprintf "techmap: interrupted; partial trace in %s\n%!" path
+          end))
+    trace_out;
+  Option.iter
+    (fun path ->
+      Signals.add_cleanup (fun () ->
+          if !flushed then ()
+          else
+          let doc =
+            Json.Obj
+              [ ("generated", Json.String (Clock.stamp ()));
+                ("circuit", Json.String circuit);
+                ("interrupted", Json.Bool true);
+                ("metrics", Metrics.to_json ()) ]
+          in
+          let oc = open_out path in
+          output_string oc (Json.to_string ~pretty:true doc);
+          output_char oc '\n';
+          close_out oc;
+          Printf.eprintf "techmap: interrupted; partial metrics in %s\n%!" path))
+    metrics_json;
   let net = load_circuit ~stream circuit in
   let net =
     if opt then begin
@@ -227,6 +260,7 @@ let run_map circuit lib_spec super_file mode_s opt recover buffer out_file veril
      output_char oc '\n';
      close_out oc;
      Printf.printf "wrote %s\n" path);
+  flushed := true;
   Printf.printf "%s mapping: delay=%.2f area=%.0f gates=%d duplicated=%d (%.2fs)\n"
     mode_name (Netlist.delay nl) (Netlist.area nl)
     (Netlist.num_gates nl) (Netlist.duplication nl) dt;
@@ -575,6 +609,118 @@ let run_circuits () =
       Printf.printf "%-10s %s | %s\n" name (Network.stats net)
         (Subject.stats sg))
     (named_circuits ())
+
+(* ------------------------------------------------------------------ *)
+(* serve / client (the techmapd daemon)                                *)
+(* ------------------------------------------------------------------ *)
+
+let write_json_file path doc =
+  let oc = open_out path in
+  output_string oc (Json.to_string ~pretty:true doc);
+  output_char oc '\n';
+  close_out oc
+
+let run_serve socket libs supers jobs queue metrics_json quiet =
+  let base =
+    match libs with
+    | [] ->
+      List.filter_map
+        (fun n -> Option.map (fun l -> (n, l)) (Libraries.by_name n))
+        Libraries.names
+    | specs ->
+      List.map
+        (fun s ->
+          let l = load_library s in
+          (l.Libraries.lib_name, l))
+        specs
+  in
+  let supered =
+    List.map
+      (fun path ->
+        let sgl = Superlib.read_file path in
+        let base_lib =
+          match List.assoc_opt sgl.Superlib.base_name base with
+          | Some l -> l
+          | None -> load_library sgl.Superlib.base_name
+        in
+        (sgl.Superlib.base_name ^ "+super", Superlib.augment base_lib sgl))
+      supers
+  in
+  Metrics.reset_all ();
+  let srv =
+    Server.create
+      { Server.socket_path = socket;
+        jobs = resolve_jobs (Some jobs);
+        queue_max = queue;
+        libraries = base @ supered;
+        resolve_circuit = Some (fun spec -> load_circuit spec);
+        verbose = not quiet }
+  in
+  (* SIGTERM/SIGINT become a graceful drain, not an exit: run returns
+     only after in-flight jobs finish and every thread is joined. *)
+  Signals.install (fun _ -> Server.stop srv);
+  Server.run srv;
+  (match metrics_json with
+   | None -> ()
+   | Some path ->
+     write_json_file path
+       (Json.Obj
+          [ ("generated", Json.String (Clock.stamp ()));
+            ("served", Json.Int (Server.requests_served srv));
+            ("metrics", Metrics.to_json ()) ]);
+     Printf.printf "wrote %s\n" path);
+  Printf.printf "techmapd: drained after %d requests\n"
+    (Server.requests_served srv)
+
+let run_client socket verb_s id circuit blif_file lib mode no_cache audit
+    reply_blif metrics =
+  let verb =
+    match Proto.verb_of_string verb_s with
+    | Some v -> v
+    | None ->
+      failwith
+        (Printf.sprintf "unknown verb %S (ping/map/check/sta/stats/shutdown)"
+           verb_s)
+  in
+  let payload =
+    Option.map
+      (fun path ->
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s)
+      blif_file
+  in
+  let req =
+    { (Proto.request verb) with
+      Proto.id;
+      circuit;
+      lib;
+      mode;
+      cache = not no_cache;
+      audit;
+      want_blif = reply_blif;
+      metrics }
+  in
+  let c =
+    try Client.connect socket
+    with Unix.Unix_error (e, _, _) ->
+      failwith
+        (Printf.sprintf "%s: %s (is techmapd running?)" socket
+           (Unix.error_message e))
+  in
+  let reply =
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () -> Client.request c ?payload req)
+  in
+  print_endline (Json.to_string reply);
+  let status =
+    Option.value ~default:"?"
+      (Option.bind (Json.member "status" reply) Json.to_string_value)
+  in
+  match status with "ok" -> () | "busy" -> exit 3 | _ -> exit 2
 
 (* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
@@ -960,9 +1106,153 @@ let circuits_cmd =
   let term = Term.(ret (const (fun () -> wrap run_circuits) $ const ())) in
   Cmd.v (Cmd.info "circuits" ~doc:"List the named benchmark circuits.") term
 
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/techmapd.sock"
+    & info [ "s"; "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let libs =
+    Arg.(
+      value & opt_all string []
+      & info [ "l"; "lib" ] ~docv:"LIB"
+          ~doc:
+            "Load a library at startup (repeatable; first is the default \
+             for requests that name none). With no $(b,--lib), every \
+             built-in library is loaded.")
+  in
+  let supers =
+    Arg.(
+      value & opt_all string []
+      & info [ "super" ] ~docv:"FILE"
+          ~doc:
+            "Load an .sglib supergate file (repeatable): its base library \
+             is augmented and registered as $(i,base)+super.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains mapping requests in parallel (0 = one per core).")
+  in
+  let queue =
+    Arg.(
+      value & opt int 32
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "In-flight request cap (queued + running); past it the daemon \
+             replies $(i,busy) instead of queueing.")
+  in
+  let metrics_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the serve.* metrics registry (per-verb counters, \
+             latency histogram) as JSON after the drain.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"No per-lifecycle stderr lines.")
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun s l su j q mj qt ->
+             wrap (fun () -> run_serve s l su j q mj qt))
+        $ socket_arg $ libs $ supers $ jobs $ queue $ metrics_json $ quiet))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run techmapd: a mapping-as-a-service daemon on a Unix socket. \
+          Libraries and pattern databases load once; concurrent \
+          map/check/sta/stats requests are scheduled onto a persistent \
+          domain pool with bounded-queue backpressure. SIGTERM/SIGINT \
+          drain gracefully.")
+    term
+
+let client_cmd =
+  let verb_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"VERB" ~doc:"ping, map, check, sta, stats or shutdown.")
+  in
+  let id =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "id" ] ~docv:"ID" ~doc:"Client tag echoed in the reply.")
+  in
+  let circuit =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "c"; "circuit" ] ~docv:"SPEC"
+          ~doc:"Server-side circuit spec (named benchmark, chain:<n>, ...).")
+  in
+  let blif_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "blif" ] ~docv:"FILE" ~doc:"Ship this BLIF file as the payload.")
+  in
+  let lib =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "l"; "lib" ] ~docv:"LIB" ~doc:"Library name loaded in the daemon.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"tree, dag, or dag-extended.")
+  in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the match cache.")
+  in
+  let audit =
+    Arg.(
+      value & flag
+      & info [ "audit" ] ~doc:"Run the full lib/check audit server-side.")
+  in
+  let reply_blif =
+    Arg.(
+      value & flag
+      & info [ "reply-blif" ] ~doc:"Include the mapped netlist BLIF in the reply.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ] ~doc:"Include the metrics registry (stats verb).")
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun s v i c b l m nc a rb mt ->
+             wrap (fun () -> run_client s v i c b l m nc a rb mt))
+        $ socket_arg $ verb_arg $ id $ circuit $ blif_file $ lib $ mode
+        $ no_cache $ audit $ reply_blif $ metrics))
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a running techmapd and print its JSON reply. \
+          Exit 0 on ok, 3 on busy, 2 on error.")
+    term
+
 let () =
+  (* Interrupted batch runs flush trace/metrics output through the
+     cleanup hooks; writes to vanished pipes fail with EPIPE instead
+     of killing the process. The serve command replaces the handler
+     with a graceful drain. *)
+  Signals.ignore_sigpipe ();
+  Signals.install_default ();
   let doc = "delay-optimal technology mapping by DAG covering" in
   let info = Cmd.info "techmap" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
           [ map_cmd; check_cmd; fuzz_cmd; superlib_cmd; fpga_cmd; retime_cmd;
-            compare_cmd; libs_cmd; circuits_cmd ]))
+            compare_cmd; libs_cmd; circuits_cmd; serve_cmd; client_cmd ]))

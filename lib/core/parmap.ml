@@ -47,21 +47,49 @@ type pool = {
   mutex : Mutex.t;
   start : Condition.t;
   finished : Condition.t;
+  idle : Condition.t;
   mutable task : (int -> unit) option;
   mutable generation : int;
   mutable active : int;
+  mutable queue : (unit -> unit) Queue.t;  (* service-mode jobs *)
+  mutable running : int;                   (* service-mode jobs in flight *)
   mutable shutdown : bool;
   mutable domains : unit Domain.t list;
 }
 
+(* A worker serves two request kinds over one condition variable: the
+   barrier protocol of run_pool (a generation bump releases one task
+   per worker) and the task-queue protocol of submit (independent
+   jobs, any worker). Queued jobs take priority; in practice a pool is
+   dedicated to one protocol for its lifetime (labeling uses the
+   barrier, the techmapd daemon uses the queue). *)
 let worker pool w =
   let seen = ref 0 in
   let rec loop () =
     Mutex.lock pool.mutex;
-    while (not pool.shutdown) && pool.generation = !seen do
+    while
+      (not pool.shutdown)
+      && pool.generation = !seen
+      && Queue.is_empty pool.queue
+    do
       Condition.wait pool.start pool.mutex
     done;
     if pool.shutdown then Mutex.unlock pool.mutex
+    else if not (Queue.is_empty pool.queue) then begin
+      let job = Queue.pop pool.queue in
+      pool.running <- pool.running + 1;
+      Mutex.unlock pool.mutex;
+      (* Job isolation: a raising job must never take the worker (and
+         with it the whole pool) down. Submitters that care about the
+         outcome trap it inside the job closure. *)
+      (try job () with _ -> ());
+      Mutex.lock pool.mutex;
+      pool.running <- pool.running - 1;
+      if pool.running = 0 && Queue.is_empty pool.queue then
+        Condition.broadcast pool.idle;
+      Mutex.unlock pool.mutex;
+      loop ()
+    end
     else begin
       seen := pool.generation;
       let task = Option.get pool.task in
@@ -79,11 +107,26 @@ let worker pool w =
 let make_pool size =
   let pool =
     { size; mutex = Mutex.create (); start = Condition.create ();
-      finished = Condition.create (); task = None; generation = 0;
-      active = 0; shutdown = false; domains = [] }
+      finished = Condition.create (); idle = Condition.create ();
+      task = None; generation = 0; active = 0; queue = Queue.create ();
+      running = 0; shutdown = false; domains = [] }
   in
-  pool.domains <-
-    List.init size (fun w -> Domain.spawn (fun () -> worker pool w));
+  (* Spawn one at a time, keeping every live domain reachable from
+     pool.domains, so a mid-way spawn failure (domain limit) can shut
+     down and join the ones already running instead of leaking them
+     blocked on the condition variable forever. *)
+  (try
+     for w = 0 to size - 1 do
+       pool.domains <- Domain.spawn (fun () -> worker pool w) :: pool.domains
+     done
+   with e ->
+     Mutex.lock pool.mutex;
+     pool.shutdown <- true;
+     Condition.broadcast pool.start;
+     Mutex.unlock pool.mutex;
+     List.iter Domain.join pool.domains;
+     pool.domains <- [];
+     raise e);
   pool
 
 (* Run [task w] on every worker (w in 0..size-1) and on the caller
@@ -102,12 +145,45 @@ let run_pool pool task =
   done;
   Mutex.unlock pool.mutex
 
+let pool_size pool = pool.size
+
+let submit pool job =
+  Mutex.lock pool.mutex;
+  if pool.shutdown || pool.size = 0 then begin
+    Mutex.unlock pool.mutex;
+    false
+  end
+  else begin
+    Queue.push job pool.queue;
+    Condition.signal pool.start;
+    Mutex.unlock pool.mutex;
+    true
+  end
+
+let drain pool =
+  Mutex.lock pool.mutex;
+  while not (Queue.is_empty pool.queue && pool.running = 0) do
+    Condition.wait pool.idle pool.mutex
+  done;
+  Mutex.unlock pool.mutex
+
+(* Idempotent: the daemon's signal path may race a normal teardown,
+   and double-joining a domain is an error. The first caller flips
+   [shutdown] under the lock and owns the joins; later callers see the
+   flag and return. Workers finish their current job/task before
+   exiting (Domain.join waits for that), but queued-not-yet-started
+   jobs are dropped — call [drain] first for a graceful stop. *)
 let shutdown_pool pool =
   Mutex.lock pool.mutex;
-  pool.shutdown <- true;
-  Condition.broadcast pool.start;
-  Mutex.unlock pool.mutex;
-  List.iter Domain.join pool.domains
+  if pool.shutdown then Mutex.unlock pool.mutex
+  else begin
+    pool.shutdown <- true;
+    Condition.broadcast pool.start;
+    let domains = pool.domains in
+    pool.domains <- [];
+    Mutex.unlock pool.mutex;
+    List.iter Domain.join domains
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Level-parallel labeling                                             *)

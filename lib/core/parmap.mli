@@ -38,25 +38,55 @@ val recommended_jobs : unit -> int
 (** {1 Persistent domain pool}
 
     The pool that backs the level sweep, exported for other
-    fan-out/barrier workloads (supergate enumeration uses it). A pool
-    of size [s] keeps [s] worker domains alive; {!run_pool} runs one
-    task per worker {e and} on the calling domain, so a task sees
-    worker indices [0 .. s] ([s] = the caller). Tasks must not raise
-    — trap exceptions into an [Atomic.t] and re-raise after the
-    barrier, as {!label} does. *)
+    fan-out/barrier workloads (supergate enumeration uses it) and, in
+    service mode, for the [techmapd] request scheduler. A pool of
+    size [s] keeps [s] worker domains alive and serves two request
+    protocols:
+
+    - {b barrier mode} ({!run_pool}): one task per worker {e and} on
+      the calling domain, so a task sees worker indices [0 .. s]
+      ([s] = the caller). Tasks must not raise — trap exceptions into
+      an [Atomic.t] and re-raise after the barrier, as {!label} does.
+    - {b service mode} ({!submit}/{!drain}): independent fire-and-
+      forget jobs picked up by any idle worker; exceptions escaping a
+      job are swallowed (trap them in the closure if the outcome
+      matters). The calling domain does not participate.
+
+    Dedicate a pool to one protocol at a time — barriers and queued
+    jobs share the worker loop but their interleaving is unspecified. *)
 
 type pool
 
 val make_pool : int -> pool
 (** [make_pool s] spawns [s] worker domains (the caller is worker
-    [s], so [make_pool (jobs - 1)] gives [jobs]-way parallelism). *)
+    [s], so [make_pool (jobs - 1)] gives [jobs]-way parallelism in
+    barrier mode). If a spawn fails mid-way (domain limit), the
+    domains already started are shut down and joined before the
+    exception propagates — repeated init/teardown never leaks
+    domains. *)
+
+val pool_size : pool -> int
+(** Worker domains in the pool (the caller is not counted). *)
 
 val run_pool : pool -> (int -> unit) -> unit
 (** [run_pool p task] runs [task w] for every [w] in [0 .. s] and
     returns when all have finished. Not reentrant. *)
 
+val submit : pool -> (unit -> unit) -> bool
+(** [submit p job] enqueues [job] for any idle worker and returns
+    immediately; [false] (job dropped) if the pool is shut down or
+    has no workers. Unbounded — callers wanting backpressure bound
+    their own in-flight count, as the daemon does. *)
+
+val drain : pool -> unit
+(** Block until no submitted job is queued or running. Quiescence,
+    not shutdown: the pool is reusable afterwards. *)
+
 val shutdown_pool : pool -> unit
-(** Joins the worker domains. The pool must not be used afterwards. *)
+(** Joins the worker domains; queued-but-unstarted jobs are dropped
+    (call {!drain} first for a graceful stop). Idempotent — extra
+    calls, including concurrent ones, are no-ops. The pool must not
+    be used afterwards. *)
 
 val label :
   ?jobs:int ->

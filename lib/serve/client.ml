@@ -1,0 +1,74 @@
+open Dagmap_obs
+
+type t = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (* bytes read past the last reply line *)
+  chunk : Bytes.t;
+  mutable open_ : bool;
+}
+
+let connect path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; buf = Buffer.create 256; chunk = Bytes.create 8192; open_ = true }
+
+let close c =
+  if c.open_ then begin
+    c.open_ <- false;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+let half_close c =
+  try Unix.shutdown c.fd Unix.SHUTDOWN_SEND
+  with Unix.Unix_error _ | Invalid_argument _ -> ()
+
+let rec write_all fd s pos len =
+  if len > 0 then begin
+    match Unix.write_substring fd s pos len with
+    | n -> write_all fd s (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s pos len
+  end
+
+let send_raw c s = write_all c.fd s 0 (String.length s)
+
+(* Replies are one line each; anything read past the first LF stays
+   buffered for the next call. *)
+let read_line c =
+  let rec go () =
+    let s = Buffer.contents c.buf in
+    match String.index_opt s '\n' with
+    | Some i ->
+      Buffer.clear c.buf;
+      Buffer.add_string c.buf (String.sub s (i + 1) (String.length s - i - 1));
+      String.sub s 0 i
+    | None -> (
+      match Unix.read c.fd c.chunk 0 (Bytes.length c.chunk) with
+      | 0 -> failwith "techmapd client: connection closed before a reply"
+      | n ->
+        Buffer.add_subbytes c.buf c.chunk 0 n;
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+  in
+  go ()
+
+let read_reply c =
+  let line = read_line c in
+  match Json.parse line with
+  | j -> j
+  | exception e ->
+    failwith
+      (Printf.sprintf "techmapd client: bad reply %S (%s)" line
+         (Json.describe e))
+
+let request c ?payload req =
+  let req =
+    match payload with
+    | None -> req
+    | Some p -> { req with Proto.payload = Some (String.length p) }
+  in
+  send_raw c (Proto.encode_request req);
+  Option.iter (send_raw c) payload;
+  read_reply c

@@ -1,0 +1,37 @@
+(** Minimal blocking client for the {!Proto} wire protocol.
+
+    One connection, synchronous request/reply — enough for the CLI
+    [techmap client], the load-generator bench and the tests. Each
+    {!request} writes the encoded header (plus payload bytes, which
+    must match the header's [payload] length) and reads exactly one
+    LF-terminated JSON reply line. *)
+
+open Dagmap_obs
+
+type t
+
+val connect : string -> t
+(** Connect to the daemon's Unix socket path. Raises
+    [Unix.Unix_error] if nothing is listening. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val request : t -> ?payload:string -> Proto.request -> Json.t
+(** Send one request and block for its reply. When [payload] is
+    given, the request's [payload] field is overridden with its
+    length. Raises [Failure] on EOF before a reply or on a reply that
+    is not valid JSON. *)
+
+val half_close : t -> unit
+(** Shut down the send side only — the daemon sees EOF (or a
+    truncated payload) but can still deliver replies. Test helper for
+    the premature-close catalog. *)
+
+val read_reply : t -> Json.t
+(** Read one more reply line without sending anything (e.g. after
+    {!half_close}). Raises [Failure] on EOF. *)
+
+val send_raw : t -> string -> unit
+(** Write bytes verbatim — the malformed-request tests speak
+    deliberately broken protocol. *)

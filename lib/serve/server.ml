@@ -1,0 +1,596 @@
+(* techmapd: mapping-as-a-service over a Unix domain socket.
+
+   Thread/domain layout: the run-thread owns accept; one systhread
+   per connection frames requests and writes replies (blocking I/O
+   drops the runtime lock, so connection threads are cheap and
+   I/O-concurrent on domain 0); the CPU-bound request bodies are
+   submitted to a Parmap pool in service mode, one job per request,
+   so mapping runs genuinely parallel across worker domains while
+   each job is the plain sequential Mapper (many small jobs, not one
+   big one).
+
+   Failure containment: everything a request can raise — BLIF parse
+   errors, unknown libraries, Mapper.Unmappable, plain bugs — is
+   trapped at the job boundary and becomes a structured error reply
+   on that connection only. Framing errors that lose the request
+   boundary (unreadable payload length, truncated payload) get a
+   final error reply and the connection is closed; the daemon
+   itself never exits for a request's sake. *)
+
+open Dagmap_logic
+open Dagmap_genlib
+open Dagmap_subject
+open Dagmap_core
+open Dagmap_timing
+open Dagmap_check
+open Dagmap_obs
+
+type config = {
+  socket_path : string;
+  jobs : int;
+  queue_max : int;
+  libraries : (string * Libraries.t) list;
+  resolve_circuit : (string -> Network.t) option;
+  verbose : bool;
+}
+
+type lib_entry = { lib : Libraries.t; db : Matchdb.t }
+
+(* Ring size for the recent-latency window behind stats p50/p99. *)
+let lat_ring = 4096
+
+type t = {
+  cfg : config;
+  libs : (string * lib_entry) list;
+  default_lib : string;
+  listen_fd : Unix.file_descr;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  stopping : bool Atomic.t;
+  pool : Parmap.pool;
+  in_flight : int Atomic.t;
+  served : int Atomic.t;
+  errored : int Atomic.t;
+  busied : int Atomic.t;
+  mu : Mutex.t;  (* guards conns and the latency ring *)
+  mutable conns : Unix.file_descr list;
+  mutable threads : Thread.t list;  (* run-thread only *)
+  lat : float array;
+  mutable lat_n : int;
+  t0 : float;
+}
+
+let log t fmt =
+  Printf.ksprintf
+    (fun s -> if t.cfg.verbose then Printf.eprintf "techmapd: %s\n%!" s)
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Small concurrency helpers                                           *)
+(* ------------------------------------------------------------------ *)
+
+type 'a ivar = {
+  iv_mu : Mutex.t;
+  iv_cond : Condition.t;
+  mutable iv_v : 'a option;
+}
+
+let ivar () =
+  { iv_mu = Mutex.create (); iv_cond = Condition.create (); iv_v = None }
+
+let ivar_fill iv x =
+  Mutex.lock iv.iv_mu;
+  iv.iv_v <- Some x;
+  Condition.signal iv.iv_cond;
+  Mutex.unlock iv.iv_mu
+
+let ivar_await iv =
+  Mutex.lock iv.iv_mu;
+  while iv.iv_v = None do
+    Condition.wait iv.iv_cond iv.iv_mu
+  done;
+  let x = Option.get iv.iv_v in
+  Mutex.unlock iv.iv_mu;
+  x
+
+(* ------------------------------------------------------------------ *)
+(* Buffered connection reader                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Reader = struct
+  type r = {
+    fd : Unix.file_descr;
+    buf : Bytes.t;
+    mutable pos : int;
+    mutable len : int;
+  }
+
+  let create fd = { fd; buf = Bytes.create 8192; pos = 0; len = 0 }
+
+  (* Returns bytes now available, 0 at EOF. Connection-level failures
+     (peer reset, descriptor shut down under us) read as EOF: the
+     connection is over either way. *)
+  let refill r =
+    if r.pos < r.len then r.len - r.pos
+    else begin
+      let rec go () =
+        match Unix.read r.fd r.buf 0 (Bytes.length r.buf) with
+        | n ->
+          r.pos <- 0;
+          r.len <- n;
+          n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error _ -> 0
+      in
+      go ()
+    end
+
+  (* One header line, LF-terminated, at most Proto.max_header bytes.
+     [`Line s] excludes the LF. [`Truncated] is data-then-EOF without
+     a terminator; [`Too_long] consumed max_header bytes without one
+     (the rest of the stream is unframeable). *)
+  let read_line r =
+    let b = Buffer.create 128 in
+    let rec go () =
+      if refill r = 0 then
+        if Buffer.length b = 0 then `Eof else `Truncated
+      else begin
+        match Bytes.index_from_opt r.buf r.pos '\n' with
+        | Some i when i < r.len ->
+          Buffer.add_subbytes b r.buf r.pos (i - r.pos);
+          r.pos <- i + 1;
+          if Buffer.length b + 1 > Proto.max_header then `Too_long
+          else `Line (Buffer.contents b)
+        | _ ->
+          Buffer.add_subbytes b r.buf r.pos (r.len - r.pos);
+          r.pos <- r.len;
+          if Buffer.length b >= Proto.max_header then `Too_long else go ()
+      end
+    in
+    go ()
+
+  (* Exactly [n] payload bytes; [None] on EOF before that. *)
+  let read_exact r n =
+    let out = Bytes.create n in
+    let rec go filled =
+      if filled = n then Some (Bytes.unsafe_to_string out)
+      else if refill r = 0 then None
+      else begin
+        let take = min (n - filled) (r.len - r.pos) in
+        Bytes.blit r.buf r.pos out filled take;
+        r.pos <- r.pos + take;
+        go (filled + take)
+      end
+    in
+    go 0
+end
+
+let rec write_all fd s pos len =
+  if len > 0 then begin
+    match Unix.write_substring fd s pos len with
+    | n -> write_all fd s (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s pos len
+  end
+
+(* A reply that cannot be delivered (peer vanished mid-write) is not
+   a daemon problem; SIGPIPE is ignored so this surfaces as EPIPE. *)
+let send fd doc =
+  let s = Json.to_string doc ^ "\n" in
+  try write_all fd s 0 (String.length s) with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Request execution (runs on a pool worker domain)                    *)
+(* ------------------------------------------------------------------ *)
+
+exception Reply_error of string * string  (* code, message *)
+
+let resolve_lib t name =
+  let name = Option.value ~default:t.default_lib name in
+  match List.assoc_opt name t.libs with
+  | Some e -> e
+  | None ->
+    raise
+      (Reply_error
+         ( "unknown_lib",
+           Printf.sprintf "library %S not loaded (have %s)" name
+             (String.concat "/" (List.map fst t.libs)) ))
+
+let resolve_mode = function
+  | None | Some "dag" -> Mapper.Dag
+  | Some "tree" -> Mapper.Tree
+  | Some "dag-extended" -> Mapper.Dag_extended
+  | Some m ->
+    raise
+      (Reply_error
+         ("unknown_mode", Printf.sprintf "mode %S (tree/dag/dag-extended)" m))
+
+let load_network t (req : Proto.request) payload =
+  match payload, req.Proto.circuit with
+  | Some blif, _ -> (
+    try Dagmap_blif.Blif.read_string ~file:"<payload>" blif
+    with Dagmap_blif.Blif.Parse_error _ as e ->
+      raise (Reply_error ("blif_parse", Dagmap_blif.Blif.describe e)))
+  | None, Some spec -> (
+    match t.cfg.resolve_circuit with
+    | None ->
+      raise
+        (Reply_error
+           ("no_circuit_resolver", "this daemon only accepts BLIF payloads"))
+    | Some f -> (
+      try f spec with
+      | Failure m -> raise (Reply_error ("unknown_circuit", m))
+      | Dagmap_blif.Blif.Parse_error _ as e ->
+        raise (Reply_error ("blif_parse", Dagmap_blif.Blif.describe e))))
+  | None, None ->
+    raise
+      (Reply_error
+         ("bad_request", "map/check/sta need a payload or a circuit= spec"))
+
+let issue_strings issues =
+  Json.List
+    (List.map
+       (fun i -> Json.String (Format.asprintf "%a" Check.pp_issue i))
+       issues)
+
+let map_and_subject t req payload =
+  let net = load_network t req payload in
+  let entry = resolve_lib t req.Proto.lib in
+  let mode = resolve_mode req.Proto.mode in
+  let sg = Subject.of_network net in
+  let result = Mapper.map ~cache:req.Proto.cache mode entry.db sg in
+  (sg, result)
+
+let netlist_fields nl =
+  [ ("delay", Json.Float (Netlist.delay nl));
+    ("area", Json.Float (Netlist.area nl));
+    ("gates", Json.Int (Netlist.num_gates nl));
+    ("duplicated", Json.Int (Netlist.duplication nl)) ]
+
+let exec_map t req payload =
+  let sg, result = map_and_subject t req payload in
+  let nl = result.Mapper.netlist in
+  let audit =
+    if not req.Proto.audit then []
+    else begin
+      match Check.audit_result sg result with
+      | [] -> [ ("audit", Json.String "ok") ]
+      | issues ->
+        [ ("audit", Json.String "failed"); ("audit_issues", issue_strings issues) ]
+    end
+  in
+  let blif =
+    if req.Proto.want_blif then
+      [ ("blif", Json.String (Dagmap_blif.Blif.write_netlist nl)) ]
+    else []
+  in
+  [ ("subject_nodes", Json.Int (Subject.num_nodes sg)) ]
+  @ netlist_fields nl
+  @ [ ("matches_tried", Json.Int result.Mapper.run.Mapper.matches_tried) ]
+  @ audit @ blif
+
+let exec_check t req payload =
+  let sg, result = map_and_subject t req payload in
+  let issues = Check.audit_result sg result in
+  netlist_fields result.Mapper.netlist
+  @ [ ("clean", Json.Bool (issues = [])); ("issues", issue_strings issues) ]
+
+let exec_sta t req payload =
+  let _, result = map_and_subject t req payload in
+  let report = Sta.analyze result.Mapper.netlist in
+  let path =
+    Json.List
+      (List.map
+         (fun pe ->
+           Json.Obj
+             [ ("gate", Json.String pe.Sta.pe_gate);
+               ("pin", Json.Int pe.Sta.pe_through_pin);
+               ("arrival", Json.Float pe.Sta.pe_arrival) ])
+         report.Sta.critical_path)
+  in
+  netlist_fields result.Mapper.netlist
+  @ [ ("critical_output", Json.String report.Sta.critical_output);
+      ("worst_delay", Json.Float report.Sta.worst_delay);
+      ("critical_path", path) ]
+
+let exec t (req : Proto.request) payload =
+  Span.with_span ~cat:"serve" ("req:" ^ Proto.verb_name req.Proto.verb)
+    (fun () ->
+      match req.Proto.verb with
+      | Proto.Map -> exec_map t req payload
+      | Proto.Check -> exec_check t req payload
+      | Proto.Sta -> exec_sta t req payload
+      | Proto.Ping | Proto.Stats | Proto.Shutdown -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Stats (served inline on the connection thread)                      *)
+(* ------------------------------------------------------------------ *)
+
+let record_latency t dt =
+  Metrics.Histogram.observe (Metrics.histogram "serve.latency_seconds") dt;
+  Mutex.lock t.mu;
+  t.lat.(t.lat_n mod lat_ring) <- dt;
+  t.lat_n <- t.lat_n + 1;
+  Mutex.unlock t.mu
+
+let latency_json t =
+  Mutex.lock t.mu;
+  let n = min t.lat_n lat_ring in
+  let a = Array.sub t.lat 0 n in
+  Mutex.unlock t.mu;
+  Array.sort compare a;
+  let q p =
+    if n = 0 then 0.0
+    else a.(min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let mean =
+    if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 a /. float_of_int n
+  in
+  Json.Obj
+    [ ("window", Json.Int n);
+      ("mean_ms", Json.Float (mean *. 1e3));
+      ("p50_ms", Json.Float (q 0.50 *. 1e3));
+      ("p90_ms", Json.Float (q 0.90 *. 1e3));
+      ("p99_ms", Json.Float (q 0.99 *. 1e3));
+      ("max_ms", Json.Float (q 1.0 *. 1e3)) ]
+
+let stats_fields t (req : Proto.request) =
+  [ ("uptime_seconds", Json.Float (Clock.since t.t0));
+    ("served", Json.Int (Atomic.get t.served));
+    ("errors", Json.Int (Atomic.get t.errored));
+    ("busy", Json.Int (Atomic.get t.busied));
+    ("in_flight", Json.Int (Atomic.get t.in_flight));
+    ("queue_max", Json.Int t.cfg.queue_max);
+    ("jobs", Json.Int (Parmap.pool_size t.pool));
+    ("libraries",
+     Json.List (List.map (fun (n, _) -> Json.String n) t.libs));
+    ("latency", latency_json t) ]
+  @ if req.Proto.metrics then [ ("metrics", Metrics.to_json ()) ] else []
+
+(* ------------------------------------------------------------------ *)
+(* Connection handling                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ok_json ?id fields =
+  Json.Obj
+    ((match id with None -> [] | Some id -> [ ("id", Json.String id) ])
+    @ [ ("status", Json.String "ok") ]
+    @ fields)
+
+let verb_counter verb =
+  Metrics.counter ("serve.requests." ^ Proto.verb_name verb)
+
+let reply t fd doc =
+  Atomic.incr t.served;
+  Metrics.Counter.incr (Metrics.counter "serve.requests");
+  send fd doc
+
+let reply_error t fd ?id ~code message =
+  Atomic.incr t.errored;
+  Metrics.Counter.incr (Metrics.counter "serve.errors");
+  reply t fd (Proto.error_json ?id ~code message)
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then
+    try ignore (Unix.write_substring t.wake_w "x" 0 1)
+    with Unix.Unix_error _ -> ()
+
+(* Dispatch one framed request. [`Keep] continues the session;
+   [`Close] ends it (framing no longer trustworthy). *)
+let dispatch t fd (req : Proto.request) payload =
+  let id = req.Proto.id in
+  Metrics.Counter.incr (verb_counter req.Proto.verb);
+  match req.Proto.verb with
+  | Proto.Ping ->
+    reply t fd (ok_json ?id [ ("reply", Json.String "pong") ]);
+    `Keep
+  | Proto.Stats ->
+    reply t fd (ok_json ?id (stats_fields t req));
+    `Keep
+  | Proto.Shutdown ->
+    reply t fd (ok_json ?id [ ("draining", Json.Bool true) ]);
+    stop t;
+    `Keep
+  | Proto.Map | Proto.Check | Proto.Sta ->
+    (* Backpressure: a bounded in-flight count (queued + running).
+       fetch_and_add makes the admission decision atomic — overload
+       turns into an immediate busy reply, never an unbounded queue. *)
+    let depth = Atomic.fetch_and_add t.in_flight 1 in
+    if depth >= t.cfg.queue_max then begin
+      Atomic.decr t.in_flight;
+      Atomic.incr t.busied;
+      Metrics.Counter.incr (Metrics.counter "serve.busy");
+      reply t fd (Proto.busy_json ?id ~depth ~limit:t.cfg.queue_max ());
+      `Keep
+    end
+    else begin
+      let iv = ivar () in
+      let t_start = Clock.now () in
+      let job () =
+        let outcome =
+          try Ok (exec t req payload) with
+          | Reply_error (code, m) -> Error (code, m)
+          | Mapper.Unmappable { description; _ } ->
+            Error ("unmappable", description)
+          | Failure m -> Error ("failed", m)
+          | Invalid_argument m -> Error ("failed", m)
+          | e -> Error ("exception", Printexc.to_string e)
+        in
+        Atomic.decr t.in_flight;
+        ivar_fill iv outcome
+      in
+      if not (Parmap.submit t.pool job) then begin
+        Atomic.decr t.in_flight;
+        reply_error t fd ?id ~code:"draining" "daemon is shutting down"
+      end
+      else begin
+        match ivar_await iv with
+        | Ok fields ->
+          let dt = Clock.since t_start in
+          record_latency t dt;
+          reply t fd
+            (ok_json ?id
+               (fields @ [ ("micros", Json.Int (int_of_float (dt *. 1e6))) ]))
+        | Error (code, m) -> reply_error t fd ?id ~code m
+      end;
+      `Keep
+    end
+
+let handle_conn t fd =
+  let r = Reader.create fd in
+  let rec loop () =
+    match Reader.read_line r with
+    | `Eof -> ()
+    | `Truncated ->
+      reply_error t fd ~code:"truncated_header"
+        "connection closed mid-header"
+    | `Too_long ->
+      reply_error t fd ~code:"header_too_long"
+        (Printf.sprintf "header exceeds %d bytes" Proto.max_header)
+    | `Line line -> (
+      match Proto.parse_request line with
+      | Error e ->
+        reply_error t fd ~code:e.Proto.code e.Proto.message;
+        if e.Proto.fatal then () else loop ()
+      | Ok req -> (
+        let payload =
+          match req.Proto.payload with
+          | None | Some 0 -> Ok None
+          | Some n -> (
+            match Reader.read_exact r n with
+            | Some s -> Ok (Some s)
+            | None -> Error ())
+        in
+        match payload with
+        | Error () ->
+          (* The peer may have half-closed (shutdown SEND) — the
+             reply still flushes on its open receive side. *)
+          reply_error t fd ~code:"truncated_payload"
+            (Printf.sprintf "connection closed before %d payload bytes"
+               (Option.value ~default:0 req.Proto.payload))
+        | Ok payload -> (
+          match dispatch t fd req payload with
+          | `Keep -> loop ()
+          | `Close -> ())))
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let claim_socket path =
+  if Sys.file_exists path then begin
+    (* A connectable socket means another daemon is live; a stale
+       file from a dead one is replaced. *)
+    let probe = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then
+      failwith (Printf.sprintf "%s: a daemon is already serving here" path);
+    try Sys.remove path with Sys_error _ -> ()
+  end
+
+let create cfg =
+  if cfg.libraries = [] then failwith "techmapd: no libraries to serve";
+  if cfg.jobs < 1 then failwith "techmapd: need at least one worker domain";
+  if cfg.queue_max < 1 then failwith "techmapd: queue_max must be >= 1";
+  Signals.ignore_sigpipe ();
+  claim_socket cfg.socket_path;
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  let libs =
+    List.map
+      (fun (name, lib) -> (name, { lib; db = Matchdb.prepare lib }))
+      cfg.libraries
+  in
+  let t =
+    { cfg;
+      libs;
+      default_lib = fst (List.hd libs);
+      listen_fd;
+      wake_r;
+      wake_w;
+      stopping = Atomic.make false;
+      pool = Parmap.make_pool cfg.jobs;
+      in_flight = Atomic.make 0;
+      served = Atomic.make 0;
+      errored = Atomic.make 0;
+      busied = Atomic.make 0;
+      mu = Mutex.create ();
+      conns = [];
+      threads = [];
+      lat = Array.make lat_ring 0.0;
+      lat_n = 0;
+      t0 = Clock.now () }
+  in
+  log t "serving %s (%d worker domains, queue %d, libraries %s)"
+    cfg.socket_path cfg.jobs cfg.queue_max
+    (String.concat "/" (List.map fst libs));
+  t
+
+let conn_thread t fd =
+  (try handle_conn t fd with _ -> ());
+  Mutex.lock t.mu;
+  t.conns <- List.filter (fun c -> c <> fd) t.conns;
+  Mutex.unlock t.mu;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Graceful drain: stop accepting, wake idle readers by shutting the
+   receive side only (in-flight jobs still complete and their replies
+   flush on the open send side), join every connection thread, then
+   quiesce and retire the worker pool. *)
+let drain t =
+  log t "draining (%d requests served)" (Atomic.get t.served);
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Sys.remove t.cfg.socket_path with Sys_error _ -> ());
+  Mutex.lock t.mu;
+  let conns = t.conns in
+  Mutex.unlock t.mu;
+  List.iter
+    (fun fd ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+      with Unix.Unix_error _ | Invalid_argument _ -> ())
+    conns;
+  List.iter Thread.join t.threads;
+  Parmap.drain t.pool;
+  Parmap.shutdown_pool t.pool;
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+  log t "drained cleanly"
+
+let run t =
+  let rec accept_loop () =
+    if Atomic.get t.stopping then ()
+    else begin
+      match Unix.select [ t.listen_fd; t.wake_r ] [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | ready, _, _ ->
+        if List.mem t.wake_r ready || Atomic.get t.stopping then ()
+        else begin
+          (match Unix.accept ~cloexec:true t.listen_fd with
+           | exception
+               Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+             ()
+           | fd, _ ->
+             Mutex.lock t.mu;
+             t.conns <- fd :: t.conns;
+             Mutex.unlock t.mu;
+             t.threads <- Thread.create (fun () -> conn_thread t fd) () :: t.threads);
+          accept_loop ()
+        end
+    end
+  in
+  accept_loop ();
+  drain t
+
+let requests_served t = Atomic.get t.served

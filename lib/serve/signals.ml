@@ -1,0 +1,40 @@
+(* Signal hygiene: SIGPIPE-safe writes and flush-on-termination.
+
+   The hooks list is mutex-guarded because the daemon registers
+   cleanups from connection threads while the handler may fire on the
+   main thread. Handlers installed through Sys.set_signal run at
+   OCaml safepoints, so arbitrary OCaml code (including exit) is
+   legal in them — "async-safe" here means "fast and non-blocking",
+   not the C rules. *)
+
+let ignore_sigpipe () =
+  (* Windows has no SIGPIPE; Sys.set_signal raises there. *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
+let mu = Mutex.create ()
+let hooks : (unit -> unit) list ref = ref []
+
+let add_cleanup f =
+  Mutex.lock mu;
+  hooks := f :: !hooks;
+  Mutex.unlock mu
+
+let run_cleanups () =
+  Mutex.lock mu;
+  let hs = !hooks in
+  hooks := [];
+  Mutex.unlock mu;
+  List.iter (fun f -> try f () with _ -> ()) hs
+
+let install handler =
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle handler)
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
+
+let install_default () =
+  install (fun signo ->
+      run_cleanups ();
+      exit (128 + signo))

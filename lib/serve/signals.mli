@@ -1,0 +1,41 @@
+(** Signal hygiene shared by the batch CLI and the [techmapd] daemon.
+
+    Two concerns, both prerequisites for long-lived socket servers
+    and for batch runs that stream artifacts to disk:
+
+    - {b SIGPIPE}: the default disposition kills the process the
+      moment a peer closes its end of a socket or pipe mid-write.
+      {!ignore_sigpipe} turns that into a [Unix.EPIPE] error the
+      writer can handle per-connection.
+    - {b SIGINT/SIGTERM}: the default disposition dies instantly,
+      losing whatever metrics/trace output the run had promised.
+      {!install_default} runs registered cleanup hooks (flush the
+      span buffer, write the metrics registry) and then exits with
+      the conventional [128 + signo] status. The daemon replaces
+      this with its own graceful-drain handler via {!install}. *)
+
+val ignore_sigpipe : unit -> unit
+(** Set SIGPIPE to [Signal_ignore] so writes to a closed socket
+    raise [Unix.Unix_error (EPIPE, _, _)] instead of killing the
+    process. No-op on platforms without SIGPIPE. *)
+
+val add_cleanup : (unit -> unit) -> unit
+(** Register a hook for the termination path. Hooks run at most once
+    (the list is cleared as it is taken), newest first; a raising
+    hook is ignored and the rest still run. They only fire on a
+    signal — a run that completes normally writes its artifacts
+    itself. *)
+
+val run_cleanups : unit -> unit
+(** Run and clear the registered hooks now (the termination handler
+    calls this; exposed for tests). *)
+
+val install_default : unit -> unit
+(** Install the default SIGINT/SIGTERM handler: run cleanups, then
+    [exit (128 + signo)]. *)
+
+val install : (int -> unit) -> unit
+(** Install a custom SIGINT/SIGTERM handler (the daemon's drain
+    trigger), replacing any previous one. The handler receives the
+    signal number and must be async-safe-ish: set a flag, poke a
+    pipe, return. *)

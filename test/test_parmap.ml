@@ -227,6 +227,67 @@ let test_unmappable_propagates () =
          | exception Mapper.Unmappable _ -> true))
     [ 1; 2; 4 ]
 
+(* Service mode and pool lifecycle: spinning a pool up and down many
+   times must not leak domains (a leak hits the ~128-domain runtime
+   limit well before 100 iterations), drain must be quiescence not
+   shutdown, and shutdown must be idempotent. *)
+let test_pool_lifecycle () =
+  for round = 1 to 100 do
+    let pool = Parmap.make_pool 3 in
+    check tint
+      (Printf.sprintf "round %d pool size" round)
+      3 (Parmap.pool_size pool);
+    let hits = Atomic.make 0 in
+    for _ = 1 to 8 do
+      check tbool "submit accepted" true
+        (Parmap.submit pool (fun () -> Atomic.incr hits))
+    done;
+    Parmap.drain pool;
+    check tint (Printf.sprintf "round %d jobs ran" round) 8 (Atomic.get hits);
+    (* The pool is reusable after drain — barrier mode still works. *)
+    let barrier_hits = Atomic.make 0 in
+    Parmap.run_pool pool (fun _ -> Atomic.incr barrier_hits);
+    check tint (Printf.sprintf "round %d barrier" round) 4
+      (Atomic.get barrier_hits);
+    Parmap.shutdown_pool pool;
+    (* Idempotent: a second (and third) shutdown is a no-op, not a
+       double Domain.join. *)
+    Parmap.shutdown_pool pool;
+    Parmap.shutdown_pool pool;
+    check tbool
+      (Printf.sprintf "round %d submit after shutdown" round)
+      false
+      (Parmap.submit pool (fun () -> ()))
+  done
+
+(* Exceptions escaping a submitted job are swallowed at the job
+   boundary: the worker survives and keeps serving. *)
+let test_pool_job_isolation () =
+  let pool = Parmap.make_pool 2 in
+  let ok = Atomic.make 0 in
+  for _ = 1 to 20 do
+    ignore (Parmap.submit pool (fun () -> failwith "job bug"))
+  done;
+  for _ = 1 to 20 do
+    ignore (Parmap.submit pool (fun () -> Atomic.incr ok))
+  done;
+  Parmap.drain pool;
+  check tint "jobs after failing jobs still run" 20 (Atomic.get ok);
+  Parmap.shutdown_pool pool
+
+(* Drain with nothing submitted must not block, including on a
+   size-0 pool (submit refuses, drain is vacuous). *)
+let test_pool_empty_drain () =
+  let pool = Parmap.make_pool 1 in
+  Parmap.drain pool;
+  Parmap.drain pool;
+  Parmap.shutdown_pool pool;
+  let zero = Parmap.make_pool 0 in
+  check tbool "size-0 pool refuses jobs" false
+    (Parmap.submit zero (fun () -> ()));
+  Parmap.drain zero;
+  Parmap.shutdown_pool zero
+
 let () =
   Alcotest.run "parmap"
     [ ( "identical",
@@ -241,4 +302,11 @@ let () =
           Alcotest.test_case "pi_arrival passthrough" `Quick test_pi_arrival ] );
       ( "errors",
         [ Alcotest.test_case "Unmappable propagates" `Quick
-            test_unmappable_propagates ] ) ]
+            test_unmappable_propagates ] );
+      ( "pool",
+        [ Alcotest.test_case "100x init/submit/drain/shutdown" `Quick
+            test_pool_lifecycle;
+          Alcotest.test_case "failing jobs are isolated" `Quick
+            test_pool_job_isolation;
+          Alcotest.test_case "empty and size-0 drains" `Quick
+            test_pool_empty_drain ] ) ]

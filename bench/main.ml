@@ -911,17 +911,29 @@ let run_compare_json new_file base_file =
 (* ------------------------------------------------------------------ *)
 
 (* `bench serve [requests=N] [clients=C] [jobs=J] [queue=Q] [seed=S]
-   [attach=SOCK] [FILE]` replays fuzz-style circuits through a client
-   pool against techmapd and reports p50/p99 latency and saturation
-   throughput into a BENCH_serve_*.json snapshot. Without attach= the
-   daemon runs in-process (a Server.t on a thread) so the run also
-   exercises create/drain; attach= points at an externally started
-   daemon (the CI smoke does this to cover the real binary + SIGTERM
-   path). Every map request carries audit=1 and a reply whose audit
-   is not "ok" fails the run. After the steady-state phase an
-   overload burst of slow circuits (no retries) must observe at least
-   one busy reply — backpressure is part of the contract, not an
-   accident. *)
+   [attach=SOCK] [faults=PLAN] [budget=S] [FILE]` replays fuzz-style
+   circuits through a client pool against techmapd and reports
+   p50/p99 latency and saturation throughput into a
+   BENCH_serve_*.json snapshot. Without attach= the daemon runs
+   in-process (a Server.t on a thread) so the run also exercises
+   create/drain; attach= points at an externally started daemon (the
+   CI smoke does this to cover the real binary + SIGTERM path).
+
+   Correctness is the gate, not throughput: every corpus circuit is
+   mapped locally, fault-free, before the run, and every ok reply —
+   degraded or not — must report the same delay/area. Every map
+   request carries audit=1 and a reply whose audit is not "ok" fails
+   the run.
+
+   faults= hands the same plan spec the daemon takes to the chaos
+   path: clients go through the retrying Client.session layer,
+   injected failures (injected_fault, watchdog_timeout) are
+   re-submitted, and the run fails unless every request eventually
+   lands, zero replies are incorrect, and — when budget= arms the
+   watchdog against a delay_job plan — the daemon logged at least one
+   pool restart. The overload burst (no-retry clients must see busy)
+   runs only in the fault-free configuration, where a vanished reply
+   would be a real bug rather than an injected one. *)
 
 let run_serve_bench args =
   let open Dagmap_serve in
@@ -930,6 +942,8 @@ let run_serve_bench args =
   and jobs = ref 4
   and queue = ref 32
   and seed = ref 7
+  and faults_spec = ref ""
+  and budget = ref 0.0
   and attach = ref None
   and out = ref None in
   List.iter
@@ -943,6 +957,11 @@ let run_serve_bench args =
       let int_of key v =
         match int_of_string_opt v with
         | Some n when n > 0 -> n
+        | _ -> failwith (Printf.sprintf "bench serve: bad %s%s" key v)
+      in
+      let float_of key v =
+        match float_of_string_opt v with
+        | Some x when x >= 0.0 -> x
         | _ -> failwith (Printf.sprintf "bench serve: bad %s%s" key v)
       in
       match kv "requests=" with
@@ -960,10 +979,22 @@ let run_serve_bench args =
               match kv "seed=" with
               | Some v -> seed := int_of "seed=" v
               | None -> (
-                match kv "attach=" with
-                | Some v -> attach := Some v
-                | None -> out := Some a))))))
+                match kv "faults=" with
+                | Some v -> faults_spec := v
+                | None -> (
+                  match kv "budget=" with
+                  | Some v -> budget := float_of "budget=" v
+                  | None -> (
+                    match kv "attach=" with
+                    | Some v -> attach := Some v
+                    | None -> out := Some a))))))))
     args;
+  let faults =
+    match Faultplan.parse !faults_spec with
+    | Ok f -> f
+    | Error m -> failwith ("bench serve: faults=: " ^ m)
+  in
+  let chaos = Faultplan.is_active faults in
   (* The replay corpus: seeded random reconvergent DAGs shipped as
      BLIF payloads, same generator family the fuzz harness uses. *)
   let corpus =
@@ -974,6 +1005,22 @@ let run_serve_bench args =
             ~nodes ()
         in
         Dagmap_blif.Blif.write_network net)
+  in
+  (* Ground truth: each corpus circuit mapped locally with no faults
+     in the way. Every ok reply must agree with this — a fault may
+     fail a request, it must never change its answer. *)
+  let expected =
+    let db = Matchdb.prepare (Option.get (Libraries.by_name "lib2")) in
+    Array.map
+      (fun blif ->
+        let net = Dagmap_blif.Blif.read_string ~file:"<corpus>" blif in
+        let r = Mapper.map Mapper.Dag db (Subject.of_network net) in
+        (Netlist.delay r.Mapper.netlist, Netlist.area r.Mapper.netlist))
+      corpus
+  in
+  let close_to a b =
+    (* replies round-trip floats through %.12g JSON *)
+    Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.abs a)
   in
   let in_process = !attach = None in
   let sock =
@@ -1002,7 +1049,11 @@ let run_serve_bench args =
             libraries =
               [ ("lib2", Option.get (Libraries.by_name "lib2")) ];
             resolve_circuit = Some resolve;
-            verbose = false }
+            verbose = false;
+            io_timeout_s = 30.0;
+            idle_timeout_s = 0.0;
+            job_budget_s = !budget;
+            faults }
       in
       (Some srv, Some (Thread.create Server.run srv))
     end
@@ -1016,57 +1067,100 @@ let run_serve_bench args =
   in
   Fun.protect ~finally @@ fun () ->
   (* Steady state: C clients pull request indices from a shared
-     counter; busy replies retry after a short backoff (counted), so
-     every request eventually lands unless it errors. *)
+     counter. Each client is a retrying Client.session — busy replies
+     and transport faults (dropped connections, garbled replies,
+     timeouts) back off and retry inside the session; injected
+     request failures (crash_job, watchdog_timeout) are re-submitted
+     here. Every request must eventually land with a correct
+     answer. *)
   let next = Atomic.make 0 in
   let ok = Atomic.make 0
   and errs = Atomic.make 0
-  and busy_retries = Atomic.make 0
+  and incorrect = Atomic.make 0
+  and injected_failures = Atomic.make 0
+  and degraded_replies = Atomic.make 0
   and audit_failures = Atomic.make 0 in
   let lats = Array.make !requests 0.0 in
   let status reply =
     Option.value ~default:"?"
       (Option.bind (Json.member "status" reply) Json.to_string_value)
   in
-  let client_loop () =
-    let c = Client.connect sock in
-    let rec serve_one i =
-      let payload = corpus.(i mod Array.length corpus) in
+  let retry =
+    { Client.default_retry with
+      Client.attempts = (if chaos then 12 else 8) }
+  in
+  let sessions =
+    Array.init !clients (fun k ->
+        Client.session ~timeout_s:30.0 ~retry ~seed:(!seed + k) sock)
+  in
+  let client_loop k =
+    let s = sessions.(k) in
+    let rec serve_one i resubmits =
+      let ci = i mod Array.length corpus in
+      let payload = corpus.(ci) in
       let req =
         match i mod 5 with
         | 0 | 1 | 2 -> { (Proto.request Proto.Map) with Proto.audit = true }
         | 3 -> Proto.request Proto.Check
         | _ -> Proto.request Proto.Sta
       in
+      let req = { req with Proto.lib = Some "lib2" } in
       let t0 = Clock.now () in
-      let reply = Client.request c ~payload req in
-      match status reply with
-      | "busy" ->
-        Atomic.incr busy_retries;
-        Thread.delay 0.002;
-        serve_one i
-      | "ok" ->
-        lats.(i) <- Clock.since t0;
-        Atomic.incr ok;
-        let audited =
-          match req.Proto.verb with
-          | Proto.Map ->
-            Option.bind (Json.member "audit" reply) Json.to_string_value
-            = Some "ok"
-          | Proto.Check ->
-            Json.member "clean" reply = Some (Json.Bool true)
-          | _ -> true
-        in
-        if not audited then Atomic.incr audit_failures
-      | s ->
+      match Client.call s ~payload req with
+      | Error m ->
         Atomic.incr errs;
-        Printf.eprintf "bench serve: request %d -> %s: %s\n%!" i s
-          (Json.to_string reply)
+        Printf.eprintf "bench serve: request %d gave up: %s\n%!" i m
+      | Ok reply -> (
+        match status reply with
+        | "ok" ->
+          lats.(i) <- Clock.since t0;
+          Atomic.incr ok;
+          if Json.member "degraded" reply = Some (Json.Bool true) then
+            Atomic.incr degraded_replies;
+          let exp_delay, exp_area = expected.(ci) in
+          let num name =
+            Option.bind (Json.member name reply) Json.to_number
+          in
+          let matches =
+            match num "delay", num "area" with
+            | Some d, Some a -> close_to exp_delay d && close_to exp_area a
+            | _ -> false
+          in
+          if not matches then begin
+            Atomic.incr incorrect;
+            Printf.eprintf
+              "bench serve: request %d INCORRECT (want delay %g area %g): \
+               %s\n%!"
+              i exp_delay exp_area (Json.to_string reply)
+          end;
+          let audited =
+            match req.Proto.verb with
+            | Proto.Map ->
+              Option.bind (Json.member "audit" reply) Json.to_string_value
+              = Some "ok"
+            | Proto.Check ->
+              Json.member "clean" reply = Some (Json.Bool true)
+            | _ -> true
+          in
+          if not audited then Atomic.incr audit_failures
+        | "error"
+          when (let code =
+                  Option.bind (Json.member "code" reply) Json.to_string_value
+                in
+                code = Some "injected_fault" || code = Some "watchdog_timeout")
+               && resubmits > 0 ->
+          (* A fault killed this request cleanly; run it again. *)
+          Atomic.incr injected_failures;
+          serve_one i (resubmits - 1)
+        | st ->
+          Atomic.incr errs;
+          Printf.eprintf "bench serve: request %d -> %s: %s\n%!" i st
+            (Json.to_string reply))
     in
     let rec pump () =
       let i = Atomic.fetch_and_add next 1 in
       if i < !requests then begin
-        (try serve_one i
+        (try serve_one i 25
          with e ->
            Atomic.incr errs;
            Printf.eprintf "bench serve: request %d raised %s\n%!" i
@@ -1075,19 +1169,31 @@ let run_serve_bench args =
       end
     in
     pump ();
-    Client.close c
+    Client.end_session s
   in
   let t0 = Clock.now () in
-  let threads = List.init !clients (fun _ -> Thread.create client_loop ()) in
+  let threads = List.init !clients (fun k -> Thread.create client_loop k) in
   List.iter Thread.join threads;
   let wall = Clock.since t0 in
+  let busy_retries, transient_retries, giveups =
+    Array.fold_left
+      (fun (b, t, g) s ->
+        let c = Client.counters s in
+        ( b + c.Client.retried_busy,
+          t + c.Client.retried_transient,
+          g + c.Client.gave_up ))
+      (0, 0, 0) sessions
+  in
   (* Overload: fire queue_max + 8 slow requests at once with no
      retries; the admission bound must turn the excess into busy
      replies. A couple of rounds tolerates scheduling luck. *)
   let overload_burst = !queue + 8 in
   let overload_busy = Atomic.make 0 in
   let overload_rounds = ref 0 in
-  while !overload_rounds < 5 && Atomic.get overload_busy = 0 do
+  (* Under an active fault plan a burst reply can be legitimately
+     dropped or garbled, so "no busy observed" would prove nothing:
+     the backpressure assertion only runs fault-free. *)
+  while (not chaos) && !overload_rounds < 5 && Atomic.get overload_busy = 0 do
     incr overload_rounds;
     let burst () =
       match
@@ -1105,12 +1211,18 @@ let run_serve_bench args =
     let ths = List.init overload_burst (fun _ -> Thread.create burst ()) in
     List.iter Thread.join ths
   done;
-  (* One stats round-trip for the snapshot, then drain. *)
+  (* One stats round-trip for the snapshot, then drain. Through the
+     retry layer: under an active plan the stats reply itself can be
+     dropped or garbled, and this exchange doubles as the
+     daemon-still-alive probe. *)
   let stats_reply =
-    let c = Client.connect sock in
+    let s = Client.session ~timeout_s:30.0 ~retry ~seed:(!seed + 977) sock in
     Fun.protect
-      ~finally:(fun () -> Client.close c)
-      (fun () -> Client.request c (Proto.request Proto.Stats))
+      ~finally:(fun () -> Client.end_session s)
+      (fun () ->
+        match Client.call s (Proto.request Proto.Stats) with
+        | Ok j -> j
+        | Error m -> failwith ("bench serve: daemon unreachable at end: " ^ m))
   in
   let n_ok = Atomic.get ok in
   let sorted = Array.sub lats 0 !requests in
@@ -1129,16 +1241,30 @@ let run_serve_bench args =
     else Array.fold_left ( +. ) 0.0 sorted /. float_of_int n_ok
   in
   let throughput = float_of_int n_ok /. Float.max 1e-9 wall in
+  let stat_int name =
+    match Option.bind (Json.member name stats_reply) Json.to_number with
+    | Some x -> int_of_float x
+    | None -> 0
+  in
+  let srv_restarts = stat_int "watchdog_restarts" in
+  let srv_deadlined = stat_int "deadline_exceeded" in
   Printf.printf
-    "serve tier: %d/%d ok in %.2fs (%.0f req/s, %d clients, %d busy \
-     retries)\n"
-    n_ok !requests wall throughput !clients
-    (Atomic.get busy_retries);
+    "serve tier: %d/%d ok in %.2fs (%.0f req/s, %d clients, %d busy + %d \
+     transient retries)\n"
+    n_ok !requests wall throughput !clients busy_retries transient_retries;
   Printf.printf
     "  latency p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n"
     (q 0.50 *. 1e3) (q 0.90 *. 1e3) (q 0.99 *. 1e3) (q 1.0 *. 1e3);
-  Printf.printf "  overload: %d busy replies in %d round(s) of %d\n"
-    (Atomic.get overload_busy) !overload_rounds overload_burst;
+  if chaos then
+    Printf.printf
+      "  chaos: %d injected failures resubmitted, %d degraded replies, %d \
+       incorrect, %d watchdog restart(s)\n"
+      (Atomic.get injected_failures)
+      (Atomic.get degraded_replies)
+      (Atomic.get incorrect) srv_restarts
+  else
+    Printf.printf "  overload: %d busy replies in %d round(s) of %d\n"
+      (Atomic.get overload_busy) !overload_rounds overload_burst;
   let doc =
     Json.Obj
       [ ("schema", Json.String bench_schema);
@@ -1153,9 +1279,19 @@ let run_serve_bench args =
               ("jobs", Json.Int !jobs);
               ("queue_max", Json.Int !queue);
               ("in_process", Json.Bool in_process);
+              ("faults", Json.String (Faultplan.to_string faults));
+              ("job_budget_s", Json.Float !budget);
               ("ok", Json.Int n_ok);
               ("errors", Json.Int (Atomic.get errs));
-              ("busy_retries", Json.Int (Atomic.get busy_retries));
+              ("incorrect", Json.Int (Atomic.get incorrect));
+              ("busy_retries", Json.Int busy_retries);
+              ("transient_retries", Json.Int transient_retries);
+              ("retries", Json.Int (busy_retries + transient_retries));
+              ("giveups", Json.Int giveups);
+              ("injected_failures", Json.Int (Atomic.get injected_failures));
+              ("degraded_replies", Json.Int (Atomic.get degraded_replies));
+              ("deadline_exceeded", Json.Int srv_deadlined);
+              ("watchdog_restarts", Json.Int srv_restarts);
               ("audit_failures", Json.Int (Atomic.get audit_failures));
               ("wall_seconds", Json.Float wall);
               ("throughput_rps", Json.Float throughput);
@@ -1181,18 +1317,30 @@ let run_serve_bench args =
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s\n" path;
+  (* A restart is only promised when the watchdog is armed and the
+     plan can actually wedge a job past its budget. *)
+  let restart_expected =
+    chaos && !budget > 0.0
+    && List.mem_assoc "delay_job" (Faultplan.injected faults)
+  in
   let failed =
     Atomic.get errs > 0
+    || Atomic.get incorrect > 0
     || Atomic.get audit_failures > 0
     || n_ok < !requests
-    || Atomic.get overload_busy = 0
+    || ((not chaos) && Atomic.get overload_busy = 0)
+    || (restart_expected && srv_restarts = 0)
   in
   if failed then begin
-    Printf.printf "FAIL: errors=%d audit_failures=%d ok=%d/%d busy=%d\n"
+    Printf.printf
+      "FAIL: errors=%d incorrect=%d audit_failures=%d ok=%d/%d busy=%d \
+       restarts=%d\n"
       (Atomic.get errs)
+      (Atomic.get incorrect)
       (Atomic.get audit_failures)
       n_ok !requests
-      (Atomic.get overload_busy);
+      (Atomic.get overload_busy)
+      srv_restarts;
     exit 1
   end
 

@@ -620,7 +620,13 @@ let write_json_file path doc =
   output_char oc '\n';
   close_out oc
 
-let run_serve socket libs supers jobs queue metrics_json quiet =
+let run_serve socket libs supers jobs queue metrics_json quiet io_timeout
+    idle_timeout job_budget faults_spec =
+  let faults =
+    match Faultplan.parse faults_spec with
+    | Ok f -> f
+    | Error m -> failwith ("--faults: " ^ m)
+  in
   let base =
     match libs with
     | [] ->
@@ -654,7 +660,11 @@ let run_serve socket libs supers jobs queue metrics_json quiet =
         queue_max = queue;
         libraries = base @ supered;
         resolve_circuit = Some (fun spec -> load_circuit spec);
-        verbose = not quiet }
+        verbose = not quiet;
+        io_timeout_s = io_timeout;
+        idle_timeout_s = idle_timeout;
+        job_budget_s = job_budget;
+        faults }
   in
   (* SIGTERM/SIGINT become a graceful drain, not an exit: run returns
      only after in-flight jobs finish and every thread is joined. *)
@@ -673,7 +683,7 @@ let run_serve socket libs supers jobs queue metrics_json quiet =
     (Server.requests_served srv)
 
 let run_client socket verb_s id circuit blif_file lib mode no_cache audit
-    reply_blif metrics =
+    reply_blif metrics timeout retries =
   let verb =
     match Proto.verb_of_string verb_s with
     | Some v -> v
@@ -692,6 +702,15 @@ let run_client socket verb_s id circuit blif_file lib mode no_cache audit
         s)
       blif_file
   in
+  let deadline_ms =
+    (* The client-side timeout doubles as the request's end-to-end
+       deadline, so the server stops working on it when we stop
+       waiting for it. *)
+    match verb with
+    | Proto.Map | Proto.Check | Proto.Sta when timeout > 0.0 ->
+      Some (int_of_float (timeout *. 1e3))
+    | _ -> None
+  in
   let req =
     { (Proto.request verb) with
       Proto.id;
@@ -701,19 +720,39 @@ let run_client socket verb_s id circuit blif_file lib mode no_cache audit
       cache = not no_cache;
       audit;
       want_blif = reply_blif;
-      metrics }
-  in
-  let c =
-    try Client.connect socket
-    with Unix.Unix_error (e, _, _) ->
-      failwith
-        (Printf.sprintf "%s: %s (is techmapd running?)" socket
-           (Unix.error_message e))
+      metrics;
+      deadline_ms }
   in
   let reply =
-    Fun.protect
-      ~finally:(fun () -> Client.close c)
-      (fun () -> Client.request c ?payload req)
+    if retries > 1 then begin
+      let s =
+        Client.session ~timeout_s:timeout
+          ~retry:{ Client.default_retry with Client.attempts = retries }
+          socket
+      in
+      Fun.protect
+        ~finally:(fun () -> Client.end_session s)
+        (fun () ->
+          match Client.call s ?payload req with
+          | Ok j -> j
+          | Error m -> failwith m)
+    end
+    else begin
+      let c =
+        try Client.connect ~timeout_s:timeout socket
+        with Unix.Unix_error (e, _, _) ->
+          failwith
+            (Printf.sprintf "%s: %s (is techmapd running?)" socket
+               (Unix.error_message e))
+      in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          try Client.request c ?payload req
+          with Client.Timeout ->
+            failwith
+              (Printf.sprintf "no reply within %.3gs (--timeout)" timeout))
+    end
   in
   print_endline (Json.to_string reply);
   let status =
@@ -1156,12 +1195,47 @@ let serve_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet" ] ~doc:"No per-lifecycle stderr lines.")
   in
+  let io_timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "io-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-read/-write progress bound once a request is in flight \
+             (partial header, payload, reply). 0 disables.")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 300.0
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Reap connections with no request in progress after this long. \
+             0 disables.")
+  in
+  let job_budget =
+    Arg.(
+      value & opt float 0.0
+      & info [ "job-budget" ] ~docv:"SECONDS"
+          ~doc:
+            "Watchdog wall budget per mapping job: past it the request \
+             fails with $(i,watchdog_timeout) and the worker pool is \
+             restarted (degraded inline service meanwhile). 0 disables.")
+  in
+  let faults =
+    Arg.(
+      value & opt string ""
+      & info [ "faults" ] ~docv:"PLAN"
+          ~doc:
+            "Inject faults for chaos testing: comma-separated \
+             $(i,crash_job:p), $(i,delay_job:ms:p), $(i,drop_conn:p), \
+             $(i,garble_reply:p), $(i,stall_read:ms:p), $(i,seed:n).")
+  in
   let term =
     Term.(
       ret
-        (const (fun s l su j q mj qt ->
-             wrap (fun () -> run_serve s l su j q mj qt))
-        $ socket_arg $ libs $ supers $ jobs $ queue $ metrics_json $ quiet))
+        (const (fun s l su j q mj qt iot idt jb f ->
+             wrap (fun () -> run_serve s l su j q mj qt iot idt jb f))
+        $ socket_arg $ libs $ supers $ jobs $ queue $ metrics_json $ quiet
+        $ io_timeout $ idle_timeout $ job_budget $ faults))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1229,13 +1303,31 @@ let client_cmd =
       value & flag
       & info [ "metrics" ] ~doc:"Include the metrics registry (stats verb).")
   in
+  let timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Give up if the exchange has not completed in this long; for \
+             map/check/sta the value also rides along as the request's \
+             $(i,deadline_ms) so the server abandons it too. 0 disables.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Total attempts: past 1, $(i,busy) replies and transient \
+             transport failures are retried with jittered exponential \
+             backoff.")
+  in
   let term =
     Term.(
       ret
-        (const (fun s v i c b l m nc a rb mt ->
-             wrap (fun () -> run_client s v i c b l m nc a rb mt))
+        (const (fun s v i c b l m nc a rb mt to_ rt ->
+             wrap (fun () -> run_client s v i c b l m nc a rb mt to_ rt))
         $ socket_arg $ verb_arg $ id $ circuit $ blif_file $ lib $ mode
-        $ no_cache $ audit $ reply_blif $ metrics))
+        $ no_cache $ audit $ reply_blif $ metrics $ timeout $ retries))
   in
   Cmd.v
     (Cmd.info "client"

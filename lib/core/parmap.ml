@@ -167,6 +167,31 @@ let drain pool =
   done;
   Mutex.unlock pool.mutex
 
+let pending pool =
+  Mutex.lock pool.mutex;
+  let queued = Queue.length pool.queue and running = pool.running in
+  Mutex.unlock pool.mutex;
+  (queued, running)
+
+(* Bounded quiescence wait for supervisors that cannot afford an
+   unbounded [drain] — a wedged job must not pin the daemon's
+   shutdown path forever. Condition variables have no timed wait in
+   the stdlib, so this polls; the period is coarse enough to cost
+   nothing and fine enough that the caller's timeout is honored to
+   within ~10ms. *)
+let drain_for pool ~seconds =
+  let deadline = Clock.now () +. seconds in
+  let rec go () =
+    let queued, running = pending pool in
+    if queued = 0 && running = 0 then true
+    else if Clock.now () >= deadline then false
+    else begin
+      Unix.sleepf 0.01;
+      go ()
+    end
+  in
+  go ()
+
 (* Idempotent: the daemon's signal path may race a normal teardown,
    and double-joining a domain is an error. The first caller flips
    [shutdown] under the lock and owns the joins; later callers see the

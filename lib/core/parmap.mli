@@ -82,6 +82,16 @@ val drain : pool -> unit
 (** Block until no submitted job is queued or running. Quiescence,
     not shutdown: the pool is reusable afterwards. *)
 
+val drain_for : pool -> seconds:float -> bool
+(** Like {!drain}, but give up after [seconds]: [true] means the pool
+    quiesced, [false] that jobs were still queued or running at the
+    deadline (the pool is untouched either way). Supervisors use this
+    so a wedged job cannot pin a shutdown path forever. *)
+
+val pending : pool -> int * int
+(** [(queued, running)] service-mode jobs right now — a snapshot for
+    health monitoring; both counts move concurrently. *)
+
 val shutdown_pool : pool -> unit
 (** Joins the worker domains; queued-but-unstarted jobs are dropped
     (call {!drain} first for a graceful stop). Idempotent — extra

@@ -1,19 +1,26 @@
 open Dagmap_obs
 
+exception Timeout
+
 type t = {
   fd : Unix.file_descr;
   buf : Buffer.t;  (* bytes read past the last reply line *)
   chunk : Bytes.t;
   mutable open_ : bool;
+  timeout_s : float;  (* per-request I/O budget; 0. = unbounded *)
 }
 
-let connect path =
+let connect ?(timeout_s = 0.0) path =
   let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.connect fd (Unix.ADDR_UNIX path)
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  { fd; buf = Buffer.create 256; chunk = Bytes.create 8192; open_ = true }
+  { fd;
+    buf = Buffer.create 256;
+    chunk = Bytes.create 8192;
+    open_ = true;
+    timeout_s }
 
 let close c =
   if c.open_ then begin
@@ -25,18 +32,51 @@ let half_close c =
   try Unix.shutdown c.fd Unix.SHUTDOWN_SEND
   with Unix.Unix_error _ | Invalid_argument _ -> ()
 
-let rec write_all fd s pos len =
-  if len > 0 then begin
-    match Unix.write_substring fd s pos len with
-    | n -> write_all fd s (pos + n) (len - n)
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s pos len
-  end
+let deadline_of c =
+  if c.timeout_s > 0.0 then Clock.now () +. c.timeout_s else infinity
 
-let send_raw c s = write_all c.fd s 0 (String.length s)
+(* EINTR: retry immediately at the same position. EAGAIN/EWOULDBLOCK:
+   wait for writability via select (never a busy loop) and resume at
+   the current position so request framing survives partial writes;
+   the wait — and, with a finite deadline, every write — is bounded. *)
+let write_all ~deadline fd s pos len =
+  let rec wait_writable () =
+    if Clock.now () >= deadline then raise Timeout;
+    let slice = min 1.0 (deadline -. Clock.now ()) in
+    match Unix.select [] [ fd ] [] slice with
+    | _, _ :: _, _ -> ()
+    | _ -> wait_writable ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_writable ()
+  in
+  let rec go pos len =
+    if len > 0 then begin
+      if deadline < infinity then wait_writable ();
+      match Unix.write_substring fd s pos len with
+      | n -> go (pos + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos len
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        ->
+        wait_writable ();
+        go pos len
+    end
+  in
+  go pos len
+
+let send_raw c s = write_all ~deadline:(deadline_of c) c.fd s 0 (String.length s)
 
 (* Replies are one line each; anything read past the first LF stays
-   buffered for the next call. *)
-let read_line c =
+   buffered for the next call. Reads go through select so a reply
+   that never arrives surfaces as [Timeout] instead of a hung
+   process. *)
+let read_line_by c ~deadline =
+  let rec wait_readable () =
+    if Clock.now () >= deadline then raise Timeout;
+    let slice = min 1.0 (deadline -. Clock.now ()) in
+    match Unix.select [ c.fd ] [] [] slice with
+    | _ :: _, _, _ -> ()
+    | _ -> wait_readable ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable ()
+  in
   let rec go () =
     let s = Buffer.contents c.buf in
     match String.index_opt s '\n' with
@@ -45,6 +85,7 @@ let read_line c =
       Buffer.add_string c.buf (String.sub s (i + 1) (String.length s - i - 1));
       String.sub s 0 i
     | None -> (
+      if deadline < infinity then wait_readable ();
       match Unix.read c.fd c.chunk 0 (Bytes.length c.chunk) with
       | 0 -> failwith "techmapd client: connection closed before a reply"
       | n ->
@@ -54,8 +95,8 @@ let read_line c =
   in
   go ()
 
-let read_reply c =
-  let line = read_line c in
+let read_reply_by c ~deadline =
+  let line = read_line_by c ~deadline in
   match Json.parse line with
   | j -> j
   | exception e ->
@@ -63,12 +104,145 @@ let read_reply c =
       (Printf.sprintf "techmapd client: bad reply %S (%s)" line
          (Json.describe e))
 
+let read_reply c = read_reply_by c ~deadline:(deadline_of c)
+
 let request c ?payload req =
   let req =
     match payload with
     | None -> req
     | Some p -> { req with Proto.payload = Some (String.length p) }
   in
-  send_raw c (Proto.encode_request req);
-  Option.iter (send_raw c) payload;
-  read_reply c
+  (* One budget for the whole exchange: header, payload, reply. *)
+  let deadline = deadline_of c in
+  let header = Proto.encode_request req in
+  write_all ~deadline c.fd header 0 (String.length header);
+  Option.iter (fun p -> write_all ~deadline c.fd p 0 (String.length p)) payload;
+  read_reply_by c ~deadline
+
+(* ------------------------------------------------------------------ *)
+(* Retrying sessions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type retry = {
+  attempts : int;
+  base_delay_s : float;
+  max_delay_s : float;
+  overall_s : float;
+}
+
+let default_retry =
+  { attempts = 6; base_delay_s = 0.005; max_delay_s = 0.5; overall_s = 0.0 }
+
+type retry_counters = {
+  calls : int;
+  retried_busy : int;
+  retried_transient : int;
+  gave_up : int;
+}
+
+type session = {
+  s_path : string;
+  s_timeout : float;
+  s_retry : retry;
+  s_rng : Random.State.t;
+  mutable s_conn : t option;
+  mutable s_calls : int;
+  mutable s_busy : int;
+  mutable s_transient : int;
+  mutable s_giveups : int;
+}
+
+let session ?(timeout_s = 0.0) ?(retry = default_retry) ?(seed = 0) path =
+  if retry.attempts < 1 then invalid_arg "Client.session: attempts < 1";
+  { s_path = path;
+    s_timeout = timeout_s;
+    s_retry = retry;
+    s_rng = Random.State.make [| seed; 0x7ec4 |];
+    s_conn = None;
+    s_calls = 0;
+    s_busy = 0;
+    s_transient = 0;
+    s_giveups = 0 }
+
+let counters s =
+  { calls = s.s_calls;
+    retried_busy = s.s_busy;
+    retried_transient = s.s_transient;
+    gave_up = s.s_giveups }
+
+let disconnect s =
+  (match s.s_conn with Some c -> close c | None -> ());
+  s.s_conn <- None
+
+let end_session = disconnect
+
+(* Decorrelated jitter: each sleep is uniform in [base, 3 * previous],
+   capped — consecutive retries spread out instead of thundering in
+   lockstep, and the cap bounds the worst wait. *)
+let backoff s prev =
+  let r = s.s_retry in
+  let hi = Float.max r.base_delay_s (prev *. 3.0) in
+  let d = r.base_delay_s +. Random.State.float s.s_rng (hi -. r.base_delay_s) in
+  Float.min r.max_delay_s d
+
+let call s ?payload req =
+  let r = s.s_retry in
+  let t_end =
+    if r.overall_s > 0.0 then Clock.now () +. r.overall_s else infinity
+  in
+  s.s_calls <- s.s_calls + 1;
+  let rec attempt n prev_delay =
+    let outcome =
+      match
+        let conn =
+          match s.s_conn with
+          | Some conn -> conn
+          | None ->
+            let conn = connect ~timeout_s:s.s_timeout s.s_path in
+            s.s_conn <- Some conn;
+            conn
+        in
+        request conn ?payload req
+      with
+      | Json.Obj fields as j -> (
+        match List.assoc_opt "status" fields with
+        | Some (Json.String "busy") -> `Retry_busy
+        | _ -> `Final j
+        (* deadline_exceeded is a final error by design: the budget
+           is spent, retrying cannot un-spend it. *))
+      | j -> `Final j
+      | exception Timeout ->
+        disconnect s;
+        `Retry_transient "request timed out"
+      | exception Unix.Unix_error (e, _, _) ->
+        disconnect s;
+        `Retry_transient (Unix.error_message e)
+      | exception Failure m ->
+        (* EOF before a reply (dropped connection) or an unparseable
+           (garbled) reply line: both are detectably broken, never
+           silently wrong — reconnect and retry. *)
+        disconnect s;
+        `Retry_transient m
+    in
+    match outcome with
+    | `Final j -> Ok j
+    | (`Retry_busy | `Retry_transient _) as why ->
+      (match why with
+       | `Retry_busy -> s.s_busy <- s.s_busy + 1
+       | `Retry_transient _ -> s.s_transient <- s.s_transient + 1);
+      let d = backoff s prev_delay in
+      if n + 1 >= r.attempts || Clock.now () +. d >= t_end then begin
+        s.s_giveups <- s.s_giveups + 1;
+        Error
+          (match why with
+           | `Retry_busy ->
+             Printf.sprintf "gave up after %d attempts: server busy" (n + 1)
+           | `Retry_transient m ->
+             Printf.sprintf "gave up after %d attempts: %s" (n + 1) m)
+      end
+      else begin
+        Unix.sleepf d;
+        attempt (n + 1) d
+      end
+  in
+  attempt 0 r.base_delay_s

@@ -4,15 +4,31 @@
     [techmap client], the load-generator bench and the tests. Each
     {!request} writes the encoded header (plus payload bytes, which
     must match the header's [payload] length) and reads exactly one
-    LF-terminated JSON reply line. *)
+    LF-terminated JSON reply line, all select-bounded by the
+    connection's [timeout_s] so a silent server surfaces as
+    {!Timeout} instead of a hung process.
+
+    On top of that, {!session}/{!call} add the retry layer: capped
+    exponential backoff with decorrelated jitter on [busy] replies
+    and on transient failures (dropped connection, unparseable
+    reply, socket error, timeout), reconnecting between attempts and
+    counting what happened. [deadline_exceeded] errors are returned
+    as final — the request's budget is spent; retrying cannot
+    un-spend it. *)
 
 open Dagmap_obs
 
+exception Timeout
+(** The per-request I/O budget ([timeout_s]) elapsed while waiting to
+    write or for a reply. *)
+
 type t
 
-val connect : string -> t
-(** Connect to the daemon's Unix socket path. Raises
-    [Unix.Unix_error] if nothing is listening. *)
+val connect : ?timeout_s:float -> string -> t
+(** Connect to the daemon's Unix socket path. [timeout_s] bounds each
+    subsequent {!request} end to end (default [0.] = unbounded, the
+    historical blocking behavior). Raises [Unix.Unix_error] if
+    nothing is listening. *)
 
 val close : t -> unit
 (** Idempotent. *)
@@ -21,7 +37,8 @@ val request : t -> ?payload:string -> Proto.request -> Json.t
 (** Send one request and block for its reply. When [payload] is
     given, the request's [payload] field is overridden with its
     length. Raises [Failure] on EOF before a reply or on a reply that
-    is not valid JSON. *)
+    is not valid JSON; {!Timeout} if the connection's budget elapses
+    first. *)
 
 val half_close : t -> unit
 (** Shut down the send side only — the daemon sees EOF (or a
@@ -30,8 +47,53 @@ val half_close : t -> unit
 
 val read_reply : t -> Json.t
 (** Read one more reply line without sending anything (e.g. after
-    {!half_close}). Raises [Failure] on EOF. *)
+    {!half_close}). Raises [Failure] on EOF, {!Timeout} on budget
+    expiry. *)
 
 val send_raw : t -> string -> unit
 (** Write bytes verbatim — the malformed-request tests speak
     deliberately broken protocol. *)
+
+(** {1 Retrying sessions} *)
+
+type retry = {
+  attempts : int;       (** total tries per call, >= 1 *)
+  base_delay_s : float; (** first backoff sleep *)
+  max_delay_s : float;  (** backoff cap *)
+  overall_s : float;    (** whole-call budget across retries; [0.] = none *)
+}
+
+val default_retry : retry
+(** 6 attempts, 5ms base, 500ms cap, no overall budget. *)
+
+type retry_counters = {
+  calls : int;              (** {!call} invocations *)
+  retried_busy : int;       (** retries caused by [busy] replies *)
+  retried_transient : int;
+      (** retries caused by dropped connections, garbled replies,
+          socket errors or timeouts *)
+  gave_up : int;            (** calls that exhausted their attempts *)
+}
+
+type session
+
+val session :
+  ?timeout_s:float -> ?retry:retry -> ?seed:int -> string -> session
+(** A reconnecting session against a socket path. [timeout_s] is the
+    per-attempt I/O budget; [seed] fixes the jitter PRNG for
+    reproducible benches. No connection is made until the first
+    {!call}. *)
+
+val call :
+  session -> ?payload:string -> Proto.request -> (Json.t, string) result
+(** One request with retries. [Ok] carries the final reply (which may
+    be a structured error — only [busy] and transport-level failures
+    are retried); [Error] is a give-up diagnostic after the attempt
+    or overall budget ran out. *)
+
+val counters : session -> retry_counters
+(** Snapshot of what the retry machinery has done so far. *)
+
+val end_session : session -> unit
+(** Close the underlying connection, if any. The session may be
+    reused; the next {!call} reconnects. *)

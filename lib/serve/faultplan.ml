@@ -1,0 +1,155 @@
+open Dagmap_obs
+
+(* Fault plans: deliberately injected failures for the chaos suite.
+
+   Decisions come from one seeded Random.State behind a mutex: the
+   server consults the plan from connection threads and pool workers
+   concurrently, and Random.State is not thread-safe. The sequence of
+   draws therefore depends on thread interleaving, but a fixed seed
+   keeps the *distribution* and rough fault mix reproducible, which
+   is what a chaos gate needs (the correctness assertions never
+   depend on which request a fault lands on). *)
+
+type fault = {
+  f_name : string;
+  f_prob : float;                (* in [0,1] *)
+  f_delay : float;               (* seconds; 0 for instantaneous faults *)
+  f_count : int Atomic.t;        (* injections so far *)
+}
+
+type t = {
+  seed : int;
+  rng : Random.State.t;
+  rng_mu : Mutex.t;
+  crash : fault option;
+  delay : fault option;
+  drop : fault option;
+  garble : fault option;
+  stall : fault option;
+}
+
+let none =
+  { seed = 0;
+    rng = Random.State.make [| 0 |];
+    rng_mu = Mutex.create ();
+    crash = None;
+    delay = None;
+    drop = None;
+    garble = None;
+    stall = None }
+
+let is_active t =
+  t.crash <> None || t.delay <> None || t.drop <> None || t.garble <> None
+  || t.stall <> None
+
+let fault name ?(delay = 0.0) prob =
+  Some { f_name = name; f_prob = prob; f_delay = delay;
+         f_count = Atomic.make 0 }
+
+let parse spec =
+  let entries =
+    List.filter (fun s -> s <> "") (String.split_on_char ',' spec)
+  in
+  let prob what s =
+    match float_of_string_opt s with
+    | Some p when p >= 0.0 && p <= 1.0 -> Ok p
+    | _ -> Error (Printf.sprintf "%s: probability %S not in [0,1]" what s)
+  in
+  let millis what s =
+    match int_of_string_opt s with
+    | Some ms when ms > 0 -> Ok (float_of_int ms /. 1e3)
+    | _ -> Error (Printf.sprintf "%s: duration %S not a positive ms count" what s)
+  in
+  let rec fold acc = function
+    | [] -> Ok acc
+    | e :: rest -> (
+      match String.split_on_char ':' e with
+      | [ "seed"; n ] -> (
+        match int_of_string_opt n with
+        | Some s -> fold { acc with seed = s } rest
+        | None -> Error (Printf.sprintf "seed: %S not an integer" n))
+      | [ "crash_job"; p ] -> (
+        match prob "crash_job" p with
+        | Ok p -> fold { acc with crash = fault "crash_job" p } rest
+        | Error m -> Error m)
+      | [ "delay_job"; ms; p ] -> (
+        match millis "delay_job" ms, prob "delay_job" p with
+        | Ok d, Ok p ->
+          fold { acc with delay = fault "delay_job" ~delay:d p } rest
+        | Error m, _ | _, Error m -> Error m)
+      | [ "drop_conn"; p ] -> (
+        match prob "drop_conn" p with
+        | Ok p -> fold { acc with drop = fault "drop_conn" p } rest
+        | Error m -> Error m)
+      | [ "garble_reply"; p ] -> (
+        match prob "garble_reply" p with
+        | Ok p -> fold { acc with garble = fault "garble_reply" p } rest
+        | Error m -> Error m)
+      | [ "stall_read"; ms; p ] -> (
+        match millis "stall_read" ms, prob "stall_read" p with
+        | Ok d, Ok p ->
+          fold { acc with stall = fault "stall_read" ~delay:d p } rest
+        | Error m, _ | _, Error m -> Error m)
+      | _ ->
+        Error
+          (Printf.sprintf
+             "unknown fault entry %S (crash_job:p, delay_job:ms:p, \
+              drop_conn:p, garble_reply:p, stall_read:ms:p, seed:n)"
+             e))
+  in
+  match fold { none with seed = 1; rng_mu = Mutex.create () } entries with
+  | Error m -> Error m
+  | Ok t ->
+    if not (is_active t) then Ok none
+    else Ok { t with rng = Random.State.make [| t.seed |] }
+
+let parse_exn spec =
+  match parse spec with
+  | Ok t -> t
+  | Error m -> failwith ("fault plan: " ^ m)
+
+let to_string t =
+  if not (is_active t) then ""
+  else
+    let entry f render = Option.map render f in
+    String.concat ","
+      (List.filter_map Fun.id
+         [ entry t.crash (fun f -> Printf.sprintf "crash_job:%g" f.f_prob);
+           entry t.delay (fun f ->
+               Printf.sprintf "delay_job:%.0f:%g" (f.f_delay *. 1e3) f.f_prob);
+           entry t.drop (fun f -> Printf.sprintf "drop_conn:%g" f.f_prob);
+           entry t.garble (fun f ->
+               Printf.sprintf "garble_reply:%g" f.f_prob);
+           entry t.stall (fun f ->
+               Printf.sprintf "stall_read:%.0f:%g" (f.f_delay *. 1e3) f.f_prob);
+           Some (Printf.sprintf "seed:%d" t.seed) ])
+
+(* One decision: draw under the mutex, count + mirror to metrics when
+   the fault fires. *)
+let decide t = function
+  | None -> false
+  | Some f ->
+    Mutex.lock t.rng_mu;
+    let x = Random.State.float t.rng 1.0 in
+    Mutex.unlock t.rng_mu;
+    let fire = x < f.f_prob in
+    if fire then begin
+      Atomic.incr f.f_count;
+      Metrics.Counter.incr (Metrics.counter ("serve.faults." ^ f.f_name))
+    end;
+    fire
+
+let crash_job t = decide t t.crash
+let drop_conn t = decide t t.drop
+let garble_reply t = decide t t.garble
+
+let timed t f =
+  if decide t f then Option.map (fun f -> f.f_delay) f else None
+
+let delay_job t = timed t t.delay
+let stall_read t = timed t t.stall
+
+let injected t =
+  List.filter_map
+    (Option.map (fun f -> (f.f_name, Atomic.get f.f_count)))
+    [ t.crash; t.delay; t.drop; t.garble; t.stall ]

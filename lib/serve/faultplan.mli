@@ -1,0 +1,68 @@
+(** Fault-injection plans for the techmapd chaos harness.
+
+    A plan is parsed from a compact spec string (CLI flag or
+    [TECHMAPD_FAULTS] env var) and threaded through {!Server} hooks;
+    every injection site consults the plan with one of the decision
+    functions below. Decisions are driven by a seeded, mutex-guarded
+    PRNG so a chaos run is reproducible up to thread interleaving;
+    the number of injections per fault kind is counted in the plan
+    {e and} mirrored into the ["serve.faults.*"] metrics registry.
+
+    Spec grammar (comma-separated, order-free):
+
+    {v
+    plan   = entry *( "," entry )
+    entry  = "crash_job:" P          ; job raises before mapping
+           | "delay_job:" MS ":" P   ; job sleeps MS milliseconds first
+           | "drop_conn:" P          ; reply withheld, connection cut
+           | "garble_reply:" P       ; reply bytes corrupted (unparseable)
+           | "stall_read:" MS ":" P  ; server stalls MS before reading
+           | "seed:" N               ; PRNG seed (default 1)
+    v}
+
+    with [P] a probability in [0,1] and [MS] a positive duration in
+    milliseconds. The empty string parses to {!none}. *)
+
+type t
+
+val none : t
+(** The inert plan: every decision answers "no fault", nothing is
+    counted. Servers run with [none] unless chaos is requested. *)
+
+val is_active : t -> bool
+(** [false] exactly for plans with no fault entries ({!none} and the
+    empty spec). *)
+
+val parse : string -> (t, string) result
+(** Parse a spec string; [Error] carries a human diagnostic naming
+    the offending entry. *)
+
+val parse_exn : string -> t
+(** {!parse}, raising [Failure] — for CLI plumbing. *)
+
+val to_string : t -> string
+(** Canonical spec rendering (entries in fixed order, seed included
+    when any fault is present); [""] for {!none}. *)
+
+(** {1 Decision points} — each call consumes PRNG state and, when it
+    fires, bumps the fault's injection counter. *)
+
+val crash_job : t -> bool
+(** The job should raise instead of mapping. *)
+
+val delay_job : t -> float option
+(** [Some seconds] when the job should sleep before mapping. *)
+
+val drop_conn : t -> bool
+(** The reply should be withheld and the connection cut. *)
+
+val garble_reply : t -> bool
+(** The reply line should be corrupted beyond JSON parseability. *)
+
+val stall_read : t -> float option
+(** [Some seconds] when the server should stall before reading the
+    next request. *)
+
+val injected : t -> (string * int) list
+(** Injection counts so far, one [(fault, count)] pair per fault kind
+    configured in the plan (fixed order, zero counts included). *)

@@ -30,12 +30,13 @@ type request = {
   audit : bool;
   want_blif : bool;
   metrics : bool;
+  deadline_ms : int option;
 }
 
 let request verb =
   { verb; id = None; circuit = None; payload = None; lib = None;
     mode = None; cache = true; audit = false; want_blif = false;
-    metrics = false }
+    metrics = false; deadline_ms = None }
 
 let max_header = 4096
 let max_payload = 16 * 1024 * 1024
@@ -112,6 +113,13 @@ let parse_request line =
               match bool_value key v with
               | Ok b -> fold { req with metrics = b } rest
               | Error e -> Error e)
+            | "deadline_ms" -> (
+              match int_of_string_opt v with
+              | Some ms when ms > 0 ->
+                fold { req with deadline_ms = Some ms } rest
+              | _ ->
+                err "bad_request"
+                  (Printf.sprintf "deadline_ms=%s: want a positive ms count" v))
             | _ -> fold req rest (* unknown keys: forward compatibility *)))
       in
       match fold (request Ping) pairs with
@@ -153,6 +161,7 @@ let encode_request r =
   if r.audit then add "audit" "1";
   if r.want_blif then add "blif" "1";
   if r.metrics then add "metrics" "1";
+  Option.iter (fun ms -> add "deadline_ms" (string_of_int ms)) r.deadline_ms;
   Buffer.add_char b '\n';
   Buffer.contents b
 
@@ -173,3 +182,12 @@ let busy_json ?id ~depth ~limit () =
     @ [ ("status", Json.String "busy");
         ("queue_depth", Json.Int depth);
         ("queue_max", Json.Int limit) ])
+
+let deadline_json ?id ~elapsed_ms ~deadline_ms () =
+  Json.Obj
+    (id_field id
+    @ [ ("status", Json.String "error");
+        ("code", Json.String "deadline_exceeded");
+        ("message", Json.String "request deadline exceeded");
+        ("elapsed_ms", Json.Int elapsed_ms);
+        ("deadline_ms", Json.Int deadline_ms) ])

@@ -35,6 +35,10 @@ type request = {
   audit : bool;             (** run the full lib/check audit on map replies *)
   want_blif : bool;         (** include the mapped netlist BLIF in the reply *)
   metrics : bool;           (** include the metrics registry in stats replies *)
+  deadline_ms : int option;
+      (** end-to-end budget in milliseconds, measured by the server
+          from admission; an expired request gets a structured
+          ["deadline_exceeded"] error instead of a result *)
 }
 
 val request : verb -> request
@@ -70,3 +74,10 @@ val error_json :
 val busy_json : ?id:string -> depth:int -> limit:int -> unit -> Dagmap_obs.Json.t
 (** The backpressure reply: [{"status":"busy",...}] with the queue
     depth that triggered it and the configured high-water mark. *)
+
+val deadline_json :
+  ?id:string -> elapsed_ms:int -> deadline_ms:int -> unit -> Dagmap_obs.Json.t
+(** The structured deadline miss:
+    [{"status":"error","code":"deadline_exceeded",...}] carrying how
+    long the request had been in the server against its budget.
+    Clients must {e not} retry these — the budget is spent. *)

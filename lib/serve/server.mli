@@ -26,6 +26,19 @@
     flush, join every thread and worker domain, remove the socket
     file.
 
+    Resilience (DESIGN.md §14): requests may carry a [deadline_ms=]
+    budget enforced at admission, during the wait for a worker, and
+    while the payload is still arriving — misses get structured
+    [deadline_exceeded] errors. All reads and reply writes are
+    select-bounded by [io_timeout_s]; connections idle past
+    [idle_timeout_s] are reaped by a sweeper in the accept loop. A
+    watchdog thread detects jobs overrunning [job_budget_s], fails
+    the stuck request, restarts the worker pool in the background,
+    and serves requests inline ([degraded=true] in replies) until the
+    fresh pool is up. A {!Faultplan} injects crash/delay/drop/
+    garble/stall faults through all of these paths for the chaos
+    suite.
+
     Instrumented end-to-end with {!Dagmap_obs}: per-request latency
     histograms and per-verb counters in the metrics registry
     (["serve.*"] names), per-request spans when span collection is
@@ -48,6 +61,21 @@ type config = {
           generator specs); [None] restricts clients to BLIF
           payloads *)
   verbose : bool;  (** log one line per connection/drain to stderr *)
+  io_timeout_s : float;
+      (** per-read/-write progress bound once a request is in flight
+          on a connection (partial header, payload, reply write);
+          [0.] disables. Does not limit idle keep-alive waits — that
+          is [idle_timeout_s]'s job. *)
+  idle_timeout_s : float;
+      (** reap connections with no request in progress after this
+          long ([serve.idle_reaped]); [0.] disables *)
+  job_budget_s : float;
+      (** watchdog wall budget per job; a job past it is failed with
+          [watchdog_timeout] and the pool is restarted
+          ([serve.watchdog_restarts]); [0.] disables *)
+  faults : Faultplan.t;
+      (** injected-fault plan for chaos testing; {!Faultplan.none}
+          in production *)
 }
 
 type t

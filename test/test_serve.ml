@@ -44,9 +44,10 @@ let request_gen =
     let* cache = bool in
     let* audit = bool in
     let* want_blif = bool in
-    let+ metrics = bool in
+    let* metrics = bool in
+    let+ deadline_ms = opt (int_range 1 3_600_000) in
     { Proto.verb; id; circuit; payload; lib; mode; cache; audit;
-      want_blif; metrics })
+      want_blif; metrics; deadline_ms })
 
 let qc_roundtrip =
   QCheck.Test.make ~count:500 ~name:"encode/parse round-trip"
@@ -106,7 +107,8 @@ let resolver spec =
     Generators.random_dag ~seed:(int_of_string seed) ~nodes:60 ()
   | _ -> failwith ("no such circuit " ^ spec)
 
-let with_server ?(jobs = 2) ?(queue = 4) f =
+let with_server ?(jobs = 2) ?(queue = 4) ?(io_timeout = 0.0)
+    ?(idle_timeout = 0.0) ?(job_budget = 0.0) ?(faults = Faultplan.none) f =
   let sock = fresh_sock () in
   let srv =
     Server.create
@@ -117,7 +119,11 @@ let with_server ?(jobs = 2) ?(queue = 4) f =
           [ ("lib2", Libraries.lib2_like ());
             ("minimal", Libraries.minimal ()) ];
         resolve_circuit = Some resolver;
-        verbose = false }
+        verbose = false;
+        io_timeout_s = io_timeout;
+        idle_timeout_s = idle_timeout;
+        job_budget_s = job_budget;
+        faults }
   in
   let th = Thread.create Server.run srv in
   let finally () =
@@ -373,7 +379,11 @@ let test_shutdown_verb_and_counters () =
         queue_max = 4;
         libraries = [ ("minimal", Libraries.minimal ()) ];
         resolve_circuit = Some resolver;
-        verbose = false }
+        verbose = false;
+        io_timeout_s = 0.0;
+        idle_timeout_s = 0.0;
+        job_budget_s = 0.0;
+        faults = Faultplan.none }
   in
   let th = Thread.create Server.run srv in
   let c = Client.connect sock in
@@ -403,7 +413,11 @@ let test_live_socket_refused () =
            queue_max = 1;
            libraries = [ ("minimal", Libraries.minimal ()) ];
            resolve_circuit = None;
-           verbose = false }
+           verbose = false;
+           io_timeout_s = 0.0;
+           idle_timeout_s = 0.0;
+           job_budget_s = 0.0;
+           faults = Faultplan.none }
      with
      | _ -> false
      | exception Failure _ -> true)

@@ -728,16 +728,19 @@ let run_json quick out_file =
   close_out oc;
   Printf.printf "wrote %s (%d rows)\n" path (List.length !rows)
 
-(* Huge tier: `bench json huge [nodes=N] [FILE]`. One end-to-end
-   production-scale run on the arena path — generate a synthetic SoC,
-   round-trip it through BLIF with the streaming reader, decompose
-   into the flat arena, map, and verify — with every phase timed and
-   peak RSS recorded. The row lives in the same "rows" schema
-   (tier = "huge"), so `bench compare` of two huge snapshots gates on
-   its wall time exactly like the quick tier; extra fields are
-   report-only. Defaults to 400k network nodes (>= 1M subject nodes
-   after NAND2-INV decomposition); CI smoke runs nodes=100000. *)
-let run_json_huge nodes out_file =
+(* Huge tier: `bench json huge [nodes=N] [jobs=J] [FILE]`. One
+   end-to-end production-scale run on the arena path — generate a
+   synthetic SoC, round-trip it through BLIF with the streaming
+   reader, decompose into the flat arena, map (sequentially, then
+   with the arena-parallel labeler), and verify — with every phase
+   timed and peak RSS recorded. The row lives in the same "rows"
+   schema (tier = "huge"), so `bench compare` of two huge snapshots
+   gates on its wall time exactly like the quick tier; extra fields —
+   including the whole "parallel" section, whose wall times depend on
+   the core count — are report-only. Defaults to 400k network nodes
+   (>= 1M subject nodes after NAND2-INV decomposition) and jobs=4;
+   CI smoke runs nodes=100000. *)
+let run_json_huge nodes jobs out_file =
   let open Dagmap_blif in
   let open Dagmap_check in
   Metrics.reset_all ();
@@ -783,6 +786,44 @@ let run_json_huge nodes out_file =
     (Netlist.area r.Mapper.netlist)
     (Netlist.num_gates r.Mapper.netlist)
     (if clean then "ok" else "FAIL");
+  (* Arena-parallel labeling over the same arena: the speedup the
+     flat core exists for. Identity to the sequential arena result is
+     a hard gate (bit-equal labels, same cover); the wall/speedup
+     numbers are report-only — they measure the machine's core count
+     as much as the code. *)
+  let (rpar, par_stats), par_wall, par_cpu =
+    Clock.time_wall_cpu (fun () ->
+        Parmap.map_arena ~jobs ~subject:g Mapper.Dag db arena)
+  in
+  let par_identical =
+    rpar.Mapper.labels = r.Mapper.labels
+    && Netlist.delay rpar.Mapper.netlist = Netlist.delay r.Mapper.netlist
+    && Netlist.area rpar.Mapper.netlist = Netlist.area r.Mapper.netlist
+    && Netlist.num_gates rpar.Mapper.netlist = Netlist.num_gates r.Mapper.netlist
+  in
+  let seq_label = r.Mapper.run.Mapper.label_seconds in
+  let par_label = rpar.Mapper.run.Mapper.label_seconds in
+  Printf.printf
+    "  parallel (jobs=%d): label %.1fs vs %.1fs seq (%.2fx), wall %.1fs, \
+     %d/%d levels parallel, %d chunks, identical=%b\n%!"
+    jobs par_label seq_label
+    (seq_label /. Float.max 1e-9 par_label)
+    par_wall par_stats.Parmap.parallel_levels par_stats.Parmap.levels
+    par_stats.Parmap.chunks par_identical;
+  let parallel =
+    Json.Obj
+      [ ("jobs", Json.Int jobs);
+        ("wall_seconds", Json.Float par_wall);
+        ("cpu_seconds", Json.Float par_cpu);
+        ("label_seconds", Json.Float par_label);
+        ("seq_label_seconds", Json.Float seq_label);
+        ("label_speedup", Json.Float (seq_label /. Float.max 1e-9 par_label));
+        ("levels", Json.Int par_stats.Parmap.levels);
+        ("parallel_levels", Json.Int par_stats.Parmap.parallel_levels);
+        ("widest_level", Json.Int par_stats.Parmap.widest_level);
+        ("chunks", Json.Int par_stats.Parmap.chunks);
+        ("identical", Json.Bool par_identical) ]
+  in
   let row =
     bench_row
       ~extra:
@@ -805,6 +846,7 @@ let run_json_huge nodes out_file =
         ("quick", Json.Bool false);
         ("tier", Json.String "huge");
         ("rows", Json.List [ row ]);
+        ("parallel", parallel);
         ("metrics", Metrics.to_json ()) ]
   in
   let path =
@@ -818,7 +860,7 @@ let run_json_huge nodes out_file =
   close_out oc;
   Printf.printf "wrote %s (peak rss %.1f MB)\n" path
     (float_of_int (Resource.peak_rss_bytes ()) /. 1e6);
-  if not clean then exit 1
+  if not (clean && par_identical) then exit 1
 
 let run_compare_json new_file base_file =
   let load path =
@@ -889,6 +931,33 @@ let run_compare_json new_file base_file =
         Printf.printf "%-8s %-6s %-5s | %8.3fs | %8.3fs | %6.2fx | %s\n" c l
           m wb wn ratio mem)
     (rows doc_new);
+  (* Arena-parallel section (huge tier): label wall and speedup
+     depend on the machine's core count, so until a same-hardware
+     baseline is checked in this column is report-only — printed,
+     never gated. (Correctness is gated at generation time: `json
+     huge` exits nonzero unless the parallel labels are bit-identical
+     to the sequential arena pass.) *)
+  let par_info doc =
+    match Json.member "parallel" doc with
+    | None -> None
+    | Some p ->
+      let num name = Option.bind (Json.member name p) Json.to_number in
+      (match num "label_seconds", num "label_speedup", num "jobs" with
+       | Some ls, Some sp, Some j -> Some (int_of_float j, ls, sp)
+       | _ -> None)
+  in
+  (match par_info doc_new, par_info doc_base with
+   | Some (j, ls, sp), Some (_, bls, _) ->
+     Printf.printf
+       "arena-parallel label (report-only): %.3fs -> %.3fs (jobs=%d, %.2fx \
+        vs seq)\n"
+       bls ls j sp
+   | Some (j, ls, sp), None ->
+     Printf.printf
+       "arena-parallel label (report-only): %.3fs (jobs=%d, %.2fx vs seq; \
+        no baseline)\n"
+       ls j sp
+   | None, _ -> ());
   if !ratios = [] then failwith "bench compare: no common dag-mode rows";
   let geo =
     exp
@@ -1394,25 +1463,30 @@ let () =
     (* Machine-readable snapshot: `json [quick] [FILE]` or
        `json huge [nodes=N] [FILE]`. *)
     let rest = Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)) in
+    let has_prefix p a =
+      String.length a > String.length p
+      && String.sub a 0 (String.length p) = p
+    in
     let is_opt a =
-      a = "quick" || a = "huge"
-      || String.length a > 6 && String.sub a 0 6 = "nodes="
+      a = "quick" || a = "huge" || has_prefix "nodes=" a || has_prefix "jobs=" a
     in
     let out = List.find_opt (fun a -> not (is_opt a)) rest in
     if List.mem "huge" rest then begin
-      let nodes =
+      let kv_int prefix default =
         List.fold_left
           (fun acc a ->
-            if String.length a > 6 && String.sub a 0 6 = "nodes=" then
+            if has_prefix prefix a then
               match
-                int_of_string_opt (String.sub a 6 (String.length a - 6))
+                int_of_string_opt
+                  (String.sub a (String.length prefix)
+                     (String.length a - String.length prefix))
               with
               | Some n when n > 0 -> n
               | _ -> failwith ("bench json huge: bad " ^ a)
             else acc)
-          400_000 rest
+          default rest
       in
-      run_json_huge nodes out
+      run_json_huge (kv_int "nodes=" 400_000) (kv_int "jobs=" 4) out
     end
     else run_json (List.mem "quick" rest) out;
     exit 0

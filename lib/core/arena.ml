@@ -13,6 +13,7 @@ type t = {
   outputs : (string * int) array;
   const_outputs : (string * bool) list;
   n_latches : int;
+  mutable levels_memo : int array option;
 }
 
 let num_nodes a = a.n
@@ -150,7 +151,8 @@ module Builder = struct
       pi_names = Array.of_list (List.rev b.pi_names_rev);
       outputs = Array.of_list (List.rev b.outs_rev);
       const_outputs = List.rev b.consts_rev;
-      n_latches }
+      n_latches;
+      levels_memo = None }
 end
 
 (* ------------------------------------------------------------------ *)
@@ -190,7 +192,8 @@ let of_subject (g : Subject.t) =
            (fun o -> (o.Subject.out_name, o.Subject.out_node))
            g.Subject.outputs);
     const_outputs = g.Subject.const_outputs;
-    n_latches = g.Subject.n_latches }
+    n_latches = g.Subject.n_latches;
+    levels_memo = None }
 
 let to_subject a =
   let kinds = Array.init a.n (fun i -> kind a i) in
@@ -226,20 +229,31 @@ let of_network ?style net =
 (* Derived per-node arrays                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* The arena is immutable once built, so the O(n) level sweep runs at
+   most once per graph and is shared by [level_ranges], [by_level],
+   [depth] and every labeler — a single map used to walk the graph
+   three times (levels, then level_ranges, then depth) before the
+   first match was even tried. The memo write is a single pointer
+   store of an array that is never mutated afterwards, so a racing
+   recompute from another domain is redundant work, not a hazard. *)
 let levels a =
-  let lv = Array.make a.n 0 in
-  for i = 0 to a.n - 1 do
-    let f0 = Bigarray.Array1.unsafe_get a.fanin0 i in
-    if f0 >= 0 then begin
-      let f1 = Bigarray.Array1.unsafe_get a.fanin1 i in
-      let below =
-        if f1 < 0 then Array.unsafe_get lv f0
-        else max (Array.unsafe_get lv f0) (Array.unsafe_get lv f1)
-      in
-      Array.unsafe_set lv i (below + 1)
-    end
-  done;
-  lv
+  match a.levels_memo with
+  | Some lv -> lv
+  | None ->
+    let lv = Array.make a.n 0 in
+    for i = 0 to a.n - 1 do
+      let f0 = Bigarray.Array1.unsafe_get a.fanin0 i in
+      if f0 >= 0 then begin
+        let f1 = Bigarray.Array1.unsafe_get a.fanin1 i in
+        let below =
+          if f1 < 0 then Array.unsafe_get lv f0
+          else max (Array.unsafe_get lv f0) (Array.unsafe_get lv f1)
+        in
+        Array.unsafe_set lv i (below + 1)
+      end
+    done;
+    a.levels_memo <- Some lv;
+    lv
 
 let fanout_counts a =
   let counts = Array.make a.n 0 in

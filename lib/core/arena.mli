@@ -39,6 +39,11 @@ type t = private {
   outputs : (string * int) array;(** POs then latch pseudo-outputs *)
   const_outputs : (string * bool) list;
   n_latches : int;
+  mutable levels_memo : int array option;
+      (** memoized {!levels} result — the graph is immutable once
+          built, so the O(n) level sweep runs at most once and is
+          shared by [level_ranges]/[by_level]/[depth] (private record:
+          only [Arena.levels] itself writes it) *)
 }
 
 val num_nodes : t -> int
@@ -68,7 +73,10 @@ val of_network : ?style:Subject.style -> Network.t -> t
     [of_subject (Subject.of_network ?style net)]. *)
 
 val levels : t -> int array
-(** Unit-delay level per node (PIs at 0); single forward sweep. *)
+(** Unit-delay level per node (PIs at 0); computed by a single
+    forward sweep on first use and memoized — repeated calls (and
+    {!level_ranges}/{!by_level}/{!depth}, which all start from it)
+    share one array. Callers must not mutate the result. *)
 
 val fanout_counts : t -> int array
 (** Fanout per node; each output reference counts once. *)

@@ -152,9 +152,11 @@ type centry = {
 
 type cache = {
   table : (string, centry list) Hashtbl.t;
-  (* The arena labeler is sequential, so plain ints suffice locally;
-     each bump is mirrored into the process-global atomic registry
-     counters shared with the legacy caches. *)
+  (* A cache is owned by exactly one domain (the sequential labeler
+     holds one; the parallel labeler gives each worker its own), so
+     plain ints suffice locally; each bump is mirrored into the
+     process-global atomic registry counters shared with the legacy
+     caches. *)
   mutable hits : int;
   mutable misses : int;
   mutable lookups : int;
@@ -179,6 +181,10 @@ let create_cache () =
     cone_len = 0;
     local_of = Hashtbl.create 64;
     buf = Buffer.create 256 }
+
+let cache_hits c = c.hits
+let cache_misses c = c.misses
+let cache_lookups c = c.lookups
 
 let count_hit c =
   c.hits <- c.hits + 1;

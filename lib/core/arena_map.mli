@@ -17,6 +17,40 @@ open Dagmap_subject
 
 type labels = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
+type cache
+(** Canonical-signature match cache over arena indices — the port of
+    {!Matchdb.cache} with the same tuning (cone budget, probation,
+    self-retirement threshold). Not thread-safe: one cache per
+    domain, exactly like the legacy caches in {!Parmap}. *)
+
+val create_cache : unit -> cache
+
+val cache_hits : cache -> int
+val cache_misses : cache -> int
+
+val cache_lookups : cache -> int
+(** Conservation invariant as for {!Matchdb}:
+    [cache_lookups c = cache_hits c + cache_misses c]. *)
+
+val label_node :
+  ?cache:cache ->
+  Matcher.match_class ->
+  Matchdb.t ->
+  Arena.t ->
+  fanouts:int array ->
+  levels:int array ->
+  labels:labels ->
+  best:Matcher.mtch option array ->
+  int ->
+  int * int
+(** The DP kernel for one NAND/INV arena node; mirrors
+    {!Mapper.label_node} (fills [labels.{node}] and [best.(node)],
+    returns [(matches tried, supergate matches tried)], raises
+    {!Mapper.Unmappable} when no match exists). Reads only
+    strictly-lower-level entries of [labels], so calls within one
+    topological level are independent — the arena-parallel labeler in
+    {!Parmap} relies on exactly this. Do not call on a PI node. *)
+
 val label :
   ?pi_arrival:(int -> float) ->
   ?cache:bool ->

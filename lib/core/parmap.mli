@@ -35,6 +35,15 @@ type par_stats = {
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
+val chunk_min : int
+(** Minimum work-stealing chunk: a worker never claims fewer than
+    this many nodes per trip through the atomic cursor, and a level
+    under [jobs * chunk_min] nodes is labeled on the calling domain
+    instead of fanning out (one contended fetch_and_add per node
+    costs more than the matching it schedules). Exported so the
+    scheduling regression tests can state their bounds in terms of
+    the real policy. *)
+
 (** {1 Persistent domain pool}
 
     The pool that backs the level sweep, exported for other
@@ -127,3 +136,45 @@ val map :
     [Mapper.map mode db g]; timings in [run] are monotonic wall
     seconds from the same {!Dagmap_obs.Clock} the sequential mapper
     uses, so 1-vs-N-domain comparisons are on one time base. *)
+
+(** {1 Arena-native labeling}
+
+    The same level-synchronous sweep running directly on the flat
+    {!Arena}: parallel fronts are dense index ranges of the
+    counting-sorted {!Arena.level_ranges} order array (workers claim
+    contiguous [int] slices through the atomic cursor — no per-level
+    boxed node lists, no allocation on the claim path), and arrival
+    labels land in the off-heap {!Arena_map.labels} vector. This is
+    the million-node hot path: [techmap map --arena --jobs N] and the
+    huge bench tier label here. *)
+
+val label_arena :
+  ?jobs:int ->
+  ?cache:bool ->
+  ?pi_arrival:(int -> float) ->
+  Mapper.mode ->
+  Matchdb.t ->
+  Arena.t ->
+  Arena_map.labels
+  * Matcher.mtch option array
+  * (int * int * int * int * int)
+  * par_stats
+(** Parallel arena labeling pass; mirrors {!label} ([cache] enables
+    one private {!Arena_map.cache} per worker). Bit-identical to the
+    sequential {!Arena_map.label} — same labels, best matches and
+    matches-tried counts — for every [jobs]; raises
+    {!Mapper.Unmappable} exactly when it would. *)
+
+val map_arena :
+  ?jobs:int ->
+  ?cache:bool ->
+  ?subject:Subject.t ->
+  Mapper.mode ->
+  Matchdb.t ->
+  Arena.t ->
+  Mapper.result * par_stats
+(** Parallel arena labeling + sequential {!Arena_map.cover},
+    returning a plain {!Mapper.result} like {!Arena_map.map} (which
+    it is bit-identical to, jobs notwithstanding). [subject] avoids a
+    redundant {!Arena.to_subject} when the caller already holds the
+    boxed view; it must describe the same graph. *)

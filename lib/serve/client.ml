@@ -178,12 +178,20 @@ let end_session = disconnect
 
 (* Decorrelated jitter: each sleep is uniform in [base, 3 * previous],
    capped — consecutive retries spread out instead of thundering in
-   lockstep, and the cap bounds the worst wait. *)
-let backoff s prev =
-  let r = s.s_retry in
+   lockstep, and the cap bounds the worst wait. Draws come from the
+   session's private PRNG, never the global [Random] state: sessions
+   on concurrent load-generator threads would otherwise interleave
+   draws through the shared state and make per-seed chaos runs
+   unreproducible (and OCaml's global Random is domain-local but not
+   systhread-safe). *)
+let jitter rng r ~prev =
   let hi = Float.max r.base_delay_s (prev *. 3.0) in
-  let d = r.base_delay_s +. Random.State.float s.s_rng (hi -. r.base_delay_s) in
+  let d = r.base_delay_s +. Random.State.float rng (hi -. r.base_delay_s) in
   Float.min r.max_delay_s d
+
+let backoff s prev = jitter s.s_rng s.s_retry ~prev
+
+let next_backoff s ~prev = backoff s prev
 
 let call s ?payload req =
   let r = s.s_retry in

@@ -80,9 +80,25 @@ type session
 val session :
   ?timeout_s:float -> ?retry:retry -> ?seed:int -> string -> session
 (** A reconnecting session against a socket path. [timeout_s] is the
-    per-attempt I/O budget; [seed] fixes the jitter PRNG for
-    reproducible benches. No connection is made until the first
-    {!call}. *)
+    per-attempt I/O budget. [seed] (default 0) seeds the session's
+    {e private} jitter PRNG: backoff delays never touch the global
+    [Random] state, so a session's retry schedule is a pure function
+    of its seed even when many sessions run on concurrent threads
+    (the load-generator bench gives thread [k] seed [base + k] and
+    chaos runs replay per seed). No connection is made until the
+    first {!call}. *)
+
+val jitter : Random.State.t -> retry -> prev:float -> float
+(** One decorrelated-jitter draw from [rng]: uniform in
+    [[base_delay_s, max base_delay_s (3 * prev)]], capped at
+    [max_delay_s]. This is the function {!call} sleeps on between
+    attempts, exposed so tests can pin the schedule. *)
+
+val next_backoff : session -> prev:float -> float
+(** Draw the session's next backoff delay (advancing its private
+    PRNG) — the reproducibility regression tests use this to assert
+    that equal seeds give equal schedules and that interleaved global
+    [Random] draws cannot perturb them. *)
 
 val call :
   session -> ?payload:string -> Proto.request -> (Json.t, string) result

@@ -232,7 +232,17 @@ let test_derived_arrays () =
             (Printf.sprintf "%s order[%d] in its range" name pos)
             true
             (pos >= starts.(l) && pos < starts.(l + 1)))
-        order)
+        order;
+      (* The O(n) levels sweep runs once per arena: repeated calls —
+         and the level_ranges/by_level/depth derivations on top —
+         share one memoized array instead of recomputing it. *)
+      check tbool (name ^ " levels memoized") true
+        (Arena.levels a == Arena.levels a);
+      check tbool (name ^ " memoized levels unchanged") true
+        (Subject.levels g = Arena.levels a);
+      check tint (name ^ " depth stable") (Subject.depth g) (Arena.depth a);
+      check tbool (name ^ " by_level stable") true
+        (Subject.by_level g = Arena.by_level a))
     (fixed_circuits ())
 
 (* ------------------------------------------------------------------ *)
@@ -297,6 +307,68 @@ let test_matrix_parallel () =
     [ ("ks16", Generators.kogge_stone_adder 16);
       ("mult4", Generators.array_multiplier 4) ]
 
+(* Parallel-arena vs sequential-arena: labels, best matches, netlist
+   and the deterministic counters must be bit-identical for any job
+   count. Cache hit/miss splits are NOT compared — which worker's
+   cache sees a structure first depends on the schedule (and even
+   sequentially on visit order); only totals of work done are
+   schedule-independent. *)
+let check_par_arena name (am : Mapper.result) (par : Mapper.result) =
+  check tbool (name ^ " labels") true (par.Mapper.labels = am.Mapper.labels);
+  check tbool (name ^ " best") true (same_best par.Mapper.best am.Mapper.best);
+  check tbool (name ^ " netlist") true
+    (same_netlist par.Mapper.netlist am.Mapper.netlist);
+  check (Alcotest.float 0.0) (name ^ " delay") (Mapper.optimal_delay am)
+    (Mapper.optimal_delay par);
+  check (Alcotest.float 0.0) (name ^ " area")
+    (Netlist.area am.Mapper.netlist)
+    (Netlist.area par.Mapper.netlist);
+  check tint (name ^ " matches tried") am.Mapper.run.Mapper.matches_tried
+    par.Mapper.run.Mapper.matches_tried;
+  check tint (name ^ " super matches tried")
+    am.Mapper.run.Mapper.super_matches_tried
+    par.Mapper.run.Mapper.super_matches_tried;
+  check tint (name ^ " super gates used")
+    am.Mapper.run.Mapper.super_gates_used
+    par.Mapper.run.Mapper.super_gates_used
+
+(* The tentpole matrix: Parmap.map_arena (dense level slices across
+   domains) = Arena_map.map (sequential) = Mapper.map (boxed), across
+   mode x jobs x cache x library. *)
+let test_matrix_parallel_arena () =
+  List.iter
+    (fun (cname, net) ->
+      let g = Subject.of_network net in
+      let a = Arena.of_subject g in
+      List.iter
+        (fun lib ->
+          let db = Matchdb.prepare lib in
+          List.iter
+            (fun mode ->
+              let boxed = Mapper.map mode db g in
+              List.iter
+                (fun cache ->
+                  let am = Arena_map.map ~cache ~subject:g mode db a in
+                  List.iter
+                    (fun jobs ->
+                      let name =
+                        Printf.sprintf "%s/%s/%s jobs=%d cache=%b" cname
+                          lib.Libraries.lib_name (Mapper.mode_name mode) jobs
+                          cache
+                      in
+                      let par, _ =
+                        Parmap.map_arena ~jobs ~cache ~subject:g mode db a
+                      in
+                      check_par_arena name am par;
+                      check tbool (name ^ " = boxed labels") true
+                        (par.Mapper.labels = boxed.Mapper.labels))
+                    [ 1; 2; 4 ])
+                [ true; false ])
+            modes)
+        [ Libraries.lib44_1_like (); Libraries.lib2_like () ])
+    [ ("ks16", Generators.kogge_stone_adder 16);
+      ("mult4", Generators.array_multiplier 4) ]
+
 (* Without ~subject the arena converts back through to_subject; the
    netlist must still be structurally identical. *)
 let test_map_without_subject () =
@@ -333,7 +405,14 @@ let test_matrix_super () =
           check_same_result name seq am;
           if mode = Mapper.Dag then
             check tbool (name ^ " supergates actually used") true
-              (am.Mapper.run.Mapper.super_gates_used > 0))
+              (am.Mapper.run.Mapper.super_gates_used > 0);
+          (* The parallel arena labeler must agree through the bigger
+             supergate pattern space too. *)
+          List.iter
+            (fun jobs ->
+              let par, _ = Parmap.map_arena ~jobs ~cache ~subject:g mode db a in
+              check_par_arena (Printf.sprintf "%s jobs=%d" name jobs) am par)
+            [ 2; 4 ])
         [ true; false ])
     modes
 
@@ -354,6 +433,36 @@ let qc_differential =
           && same_best seq.Mapper.best am.Mapper.best
           && same_netlist seq.Mapper.netlist am.Mapper.netlist
           && Check.audit_result ~rounds:4 g am = [])
+        modes)
+
+(* Three-way parity on random circuits: parallel-arena =
+   sequential-arena = boxed Mapper, across jobs x cache. *)
+let qc_parallel_arena =
+  QCheck.Test.make ~count:8
+    ~name:"parallel arena = sequential arena = boxed on random circuits"
+    QCheck.(make ~print:string_of_int Gen.(int_bound 10_000))
+    (fun seed ->
+      let net = Generators.random_dag ~seed ~inputs:8 ~outputs:4 ~nodes:70 () in
+      let g = Subject.of_network net in
+      let a = Arena.of_subject g in
+      let db = Matchdb.prepare (Libraries.lib2_like ()) in
+      List.for_all
+        (fun mode ->
+          let boxed = Mapper.map mode db g in
+          List.for_all
+            (fun cache ->
+              let am = Arena_map.map ~cache ~subject:g mode db a in
+              am.Mapper.labels = boxed.Mapper.labels
+              && List.for_all
+                   (fun jobs ->
+                     let par, _ =
+                       Parmap.map_arena ~jobs ~cache ~subject:g mode db a
+                     in
+                     par.Mapper.labels = am.Mapper.labels
+                     && same_best par.Mapper.best am.Mapper.best
+                     && same_netlist par.Mapper.netlist am.Mapper.netlist)
+                   [ 1; 2; 4 ])
+            [ true; false ])
         modes)
 
 (* pi_arrival must flow through the arena labeler unchanged. *)
@@ -412,7 +521,17 @@ let test_deep_chain_100k () =
   let am = Arena_map.map ~subject:g Mapper.Dag db a in
   check_same_result "chain100k" seq am;
   check tbool "chain100k audit clean" true
-    (Check.audit_result ~rounds:2 g am = [])
+    (Check.audit_result ~rounds:2 g am = []);
+  (* Chunking stress: 100k levels of width ~1 through the parallel
+     labeler — every level is below the fan-out threshold, so the
+     whole sweep must run on the calling domain with zero cursor
+     traffic, no recursion on the depth, and bit-identical output. *)
+  let par, stats = Parmap.map_arena ~jobs:4 ~subject:g Mapper.Dag db a in
+  check_par_arena "chain100k jobs=4" am par;
+  check tint "chain100k no parallel levels" 0 stats.Parmap.parallel_levels;
+  check tint "chain100k no chunks" 0 stats.Parmap.chunks;
+  check tbool "chain100k one timing per level" true
+    (Array.length stats.Parmap.level_seconds = stats.Parmap.levels)
 
 (* A mid-size SoC runs the whole stack end-to-end on every test run;
    the million-node versions below are gated behind DAGMAP_HUGE=1
@@ -446,6 +565,17 @@ let million_case name build =
       (Check.structural am.Mapper.netlist = []);
     check tbool (name ^ " delay audit") true
       (Check.delay ~predicted:(Mapper.predicted_arrivals am) am.Mapper.netlist
+       = []);
+    (* The 4-domain labeler must survive the same scale and agree
+       bit-for-bit, and its cover must pass the same audits. *)
+    let par, _ = Parmap.map_arena ~jobs:4 ~subject:g Mapper.Dag db a in
+    check_par_arena (name ^ " jobs=4") am par;
+    check tbool (name ^ " jobs=4 structural") true
+      (Check.structural par.Mapper.netlist = []);
+    check tbool (name ^ " jobs=4 delay audit") true
+      (Check.delay
+         ~predicted:(Mapper.predicted_arrivals par)
+         par.Mapper.netlist
        = [])
   end
 
@@ -473,9 +603,12 @@ let () =
         [ Alcotest.test_case "sequential matrix" `Quick test_matrix_sequential;
           Alcotest.test_case "parallel matrix jobs 1/2/4" `Quick
             test_matrix_parallel;
+          Alcotest.test_case "parallel-arena matrix jobs 1/2/4" `Quick
+            test_matrix_parallel_arena;
           Alcotest.test_case "to_subject path" `Quick test_map_without_subject;
           Alcotest.test_case "supergate library" `Quick test_matrix_super;
           QCheck_alcotest.to_alcotest qc_differential;
+          QCheck_alcotest.to_alcotest qc_parallel_arena;
           Alcotest.test_case "pi_arrival passthrough" `Quick test_pi_arrival;
           Alcotest.test_case "Unmappable propagates" `Quick test_unmappable ] );
       ( "scale",

@@ -179,6 +179,73 @@ let test_stats_monotonic_timers () =
   check tbool "chunks cover parallel levels" true
     (pstats.Parmap.chunks >= pstats.Parmap.parallel_levels)
 
+(* ------------------------------------------------------------------ *)
+(* Work-stealing granularity (chunk_min regression)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The old chunk policy [max 1 (len / (jobs * 8))] degenerated to
+   1-node chunks on any level under 8 * jobs nodes: every worker
+   hammered the atomic cursor once per node. Levels too narrow to
+   give each worker a [chunk_min]-sized slice must now run on the
+   calling domain with no cursor traffic at all, and chunks on
+   genuinely wide levels never shrink below [chunk_min]. Scheduling
+   never changes labels, which each case re-asserts. *)
+
+let test_chunking_small_levels () =
+  (* 20 NANDs over 10 shared PIs: a 10-wide PI level and a 20-wide
+     NAND level — the NAND level is over the old 4 * jobs = 16
+     fan-out threshold for jobs = 4, but under one minimum-size chunk
+     per worker. Every level must stay sequential. *)
+  let bld = Subject.Builder.create () in
+  let pis =
+    Array.init 10 (fun i -> Subject.Builder.pi bld (Printf.sprintf "a%d" i))
+  in
+  for i = 0 to 19 do
+    let a = pis.(i mod 10) and b = pis.((i * 3 + 1) mod 10) in
+    Subject.Builder.output bld
+      (Printf.sprintf "o%d" i)
+      (Subject.Builder.raw_nand bld a b)
+  done;
+  let g = Subject.Builder.finish bld in
+  let db = Matchdb.prepare (Libraries.minimal ()) in
+  let seq = Mapper.map Mapper.Dag db g in
+  let par, stats = Parmap.map ~jobs:4 Mapper.Dag db g in
+  check tbool "small-level labels identical" true
+    (seq.Mapper.labels = par.Mapper.labels);
+  check tbool "width 20 < jobs * chunk_min" true (20 < 4 * Parmap.chunk_min);
+  check tint "small level stays sequential" 0 stats.Parmap.parallel_levels;
+  check tint "no cursor traffic on small levels" 0 stats.Parmap.chunks
+
+let test_chunking_deep_chain () =
+  (* A deep chain is nothing but narrow levels; the cursor must never
+     be touched, so chunks stay at 0 — far below the node count the
+     old policy could reach. *)
+  let g = Subject.of_network (Generators.nand_chain 5000) in
+  let db = Matchdb.prepare (Libraries.minimal ()) in
+  let seq = Mapper.map Mapper.Dag db g in
+  let par, stats = Parmap.map ~jobs:4 Mapper.Dag db g in
+  check tbool "chain labels identical" true
+    (seq.Mapper.labels = par.Mapper.labels);
+  check tint "deep chain: no parallel levels" 0 stats.Parmap.parallel_levels;
+  check tint "deep chain: no chunks" 0 stats.Parmap.chunks;
+  check tbool "chunks below node count" true
+    (stats.Parmap.chunks <= Subject.num_nodes g)
+
+let test_chunking_wide_levels () =
+  (* Wide fronts still fan out, but each cursor claim hands out at
+     least chunk_min nodes: total claims are bounded by
+     nodes / chunk_min plus one tail chunk per parallel level. *)
+  let g = Subject.of_network (Generators.array_multiplier 8) in
+  let db = Matchdb.prepare (Libraries.minimal ()) in
+  let seq = Mapper.map Mapper.Dag db g in
+  let par, stats = Parmap.map ~jobs:2 Mapper.Dag db g in
+  check tbool "wide labels identical" true
+    (seq.Mapper.labels = par.Mapper.labels);
+  check tbool "wide levels do fan out" true (stats.Parmap.parallel_levels > 0);
+  check tbool "chunks bounded by nodes / chunk_min" true
+    (stats.Parmap.chunks
+    <= (Subject.num_nodes g / Parmap.chunk_min) + stats.Parmap.parallel_levels)
+
 (* pi_arrival flows through the parallel labeler unchanged. *)
 let test_pi_arrival () =
   let g = Subject.of_network (Generators.carry_lookahead_adder 8) in
@@ -300,6 +367,13 @@ let () =
           Alcotest.test_case "monotonic phase timers" `Quick
             test_stats_monotonic_timers;
           Alcotest.test_case "pi_arrival passthrough" `Quick test_pi_arrival ] );
+      ( "chunking",
+        [ Alcotest.test_case "narrow level stays sequential" `Quick
+            test_chunking_small_levels;
+          Alcotest.test_case "deep chain: zero chunks" `Quick
+            test_chunking_deep_chain;
+          Alcotest.test_case "wide levels: chunk_min floor" `Quick
+            test_chunking_wide_levels ] );
       ( "errors",
         [ Alcotest.test_case "Unmappable propagates" `Quick
             test_unmappable_propagates ] );

@@ -267,6 +267,59 @@ let test_retries_vs_drop_conn () =
   Client.end_session s
 
 (* ------------------------------------------------------------------ *)
+(* Backoff jitter: per-session PRNG reproducibility                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The retry schedule must be a pure function of the session's seed:
+   equal seeds give equal schedules, interleaved draws from the
+   global [Random] state cannot perturb them (sessions own a private
+   [Random.State.t]), and every delay respects the configured
+   bounds. This pins the chaos-replay contract — per-seed runs are
+   bit-reproducible even with concurrent load-generator threads. *)
+let test_backoff_jitter () =
+  let retry =
+    { Client.default_retry with
+      Client.base_delay_s = 0.004;
+      max_delay_s = 0.25 }
+  in
+  let schedule ?(noise = false) seed =
+    (* No connection is made until the first call, so sessions against
+       a nonexistent socket are fine for drawing the schedule. *)
+    let s = Client.session ~retry ~seed "/nonexistent.sock" in
+    let prev = ref retry.Client.base_delay_s in
+    let ds = ref [] in
+    for _ = 1 to 16 do
+      if noise then ignore (Random.bits ());
+      prev := Client.next_backoff s ~prev:!prev;
+      ds := !prev :: !ds
+    done;
+    Client.end_session s;
+    List.rev !ds
+  in
+  let a = schedule 7 in
+  check tbool "equal seeds, equal schedules" true (a = schedule 7);
+  check tbool "global Random draws cannot perturb" true
+    (a = schedule ~noise:true 7);
+  check tbool "different seeds, different schedules" true (a <> schedule 8);
+  List.iter
+    (fun d ->
+      check tbool "delay within [base, max]" true
+        (d >= retry.Client.base_delay_s && d <= retry.Client.max_delay_s))
+    a;
+  (* The decorrelated bound itself: one draw never exceeds
+     min(max_delay, 3 * previous) when that bound is above base. *)
+  let rng = Random.State.make [| 42 |] in
+  let prev = ref retry.Client.base_delay_s in
+  for _ = 1 to 100 do
+    let d = Client.jitter rng retry ~prev:!prev in
+    check tbool "decorrelated upper bound" true
+      (d <= Float.min retry.Client.max_delay_s
+              (Float.max retry.Client.base_delay_s (3.0 *. !prev))
+            +. 1e-12);
+    prev := d
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Framing: 1-byte trickle must reassemble, not read as EOF            *)
 (* ------------------------------------------------------------------ *)
 
@@ -473,7 +526,9 @@ let () =
             test_watchdog_restart_and_degraded ] );
       ( "retries",
         [ Alcotest.test_case "drop_conn survived" `Quick
-            test_retries_vs_drop_conn ] );
+            test_retries_vs_drop_conn;
+          Alcotest.test_case "backoff jitter reproducible per seed" `Quick
+            test_backoff_jitter ] );
       ( "framing",
         [ Alcotest.test_case "1-byte trickle reassembles" `Quick
             test_one_byte_trickle;

@@ -268,7 +268,7 @@ let run_engine_comparison () =
     (fun lib_name ->
       let lib = Option.get (Libraries.by_name lib_name) in
       let pdb = Matchdb.prepare lib in
-      let bdb = Dagmap_cutmap.Boolean_match.prepare lib in
+      let bdb = Matchdb.boolean pdb in
       List.iter
         (fun (name, g) ->
           let t0 = Clock.now () in
@@ -292,7 +292,7 @@ let run_ablation_cut_budget () =
   let g = snd (List.nth (Lazy.force subjects) 3) in
   let lib = Option.get (Libraries.by_name "44-1") in
   let pdb = Matchdb.prepare lib in
-  let bdb = Dagmap_cutmap.Boolean_match.prepare lib in
+  let bdb = Matchdb.boolean pdb in
   let reference = Netlist.delay (Mapper.map Mapper.Dag pdb g).Mapper.netlist in
   Printf.printf "  structural reference: %.2f\n" reference;
   List.iter
@@ -700,6 +700,57 @@ let run_json quick out_file =
         ("speedup", Json.Float (seq_wall /. Float.max 1e-9 par_wall));
         ("identical", Json.Bool (rpar.Mapper.labels = rseq.Mapper.labels)) ]
   in
+  (* Cut-mapper section: priority pruning vs full enumeration
+     (matcher work saved), delay delta vs the structural DAG
+     reference, and boxed/arena-parallel parity. The parity bit is a
+     hard gate — the run exits nonzero if the arena enumerator ever
+     diverges from the boxed cut mapper. *)
+  let cuts_ok = ref true in
+  let cuts_rows =
+    List.map
+      (fun (cname, g) ->
+        let bdb = Matchdb.boolean db in
+        let rdag = Mapper.map Mapper.Dag db g in
+        let r8, wall8 =
+          Clock.time (fun () -> Dagmap_cutmap.Cut_mapper.map ~priority:8 bdb g)
+        in
+        let rfull, wall_full =
+          Clock.time (fun () ->
+              Dagmap_cutmap.Cut_mapper.map ~priority:1_000_000 bdb g)
+        in
+        let a = Arena.of_subject g in
+        let rar, _ =
+          Dagmap_cutmap.Arena_cuts.map ~jobs:4 ~priority:8 ~subject:g bdb a
+        in
+        let open Dagmap_cutmap in
+        let identical =
+          rar.Cut_mapper.labels = r8.Cut_mapper.labels
+          && rar.Cut_mapper.matches_evaluated = r8.Cut_mapper.matches_evaluated
+          && Netlist.delay rar.Cut_mapper.netlist
+             = Netlist.delay r8.Cut_mapper.netlist
+          && Netlist.area rar.Cut_mapper.netlist
+             = Netlist.area r8.Cut_mapper.netlist
+        in
+        if not identical then cuts_ok := false;
+        let d8 = Netlist.delay r8.Cut_mapper.netlist in
+        let dfull = Netlist.delay rfull.Cut_mapper.netlist in
+        let ddag = Netlist.delay rdag.Mapper.netlist in
+        Json.Obj
+          [ ("circuit", Json.String cname);
+            ("library", Json.String base.Libraries.lib_name);
+            ("priority", Json.Int 8);
+            ("delay", Json.Float d8);
+            ("delay_full_enumeration", Json.Float dfull);
+            ("delay_dag", Json.Float ddag);
+            ("delay_delta_vs_dag", Json.Float (d8 -. ddag));
+            ("matches_evaluated", Json.Int r8.Cut_mapper.matches_evaluated);
+            ( "matches_evaluated_full",
+              Json.Int rfull.Cut_mapper.matches_evaluated );
+            ("wall_seconds", Json.Float wall8);
+            ("wall_seconds_full", Json.Float wall_full);
+            ("arena_parallel_identical", Json.Bool identical) ])
+      subjects
+  in
   let cval n = Option.value ~default:0 (Metrics.counter_value n) in
   let cache =
     Json.Obj
@@ -715,6 +766,7 @@ let run_json quick out_file =
         ("rows", Json.List (List.rev !rows));
         ("cache", cache);
         ("parallel", parallel);
+        ("cuts", Json.List cuts_rows);
         ("metrics", Metrics.to_json ()) ]
   in
   let path =
@@ -726,7 +778,11 @@ let run_json quick out_file =
   output_string oc (Json.to_string ~pretty:true doc);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "wrote %s (%d rows)\n" path (List.length !rows)
+  Printf.printf "wrote %s (%d rows)\n" path (List.length !rows);
+  if not !cuts_ok then begin
+    Printf.printf "FAIL: arena cut mapper diverged from the boxed mapper\n";
+    exit 1
+  end
 
 (* Huge tier: `bench json huge [nodes=N] [jobs=J] [FILE]`. One
    end-to-end production-scale run on the arena path — generate a
@@ -824,6 +880,65 @@ let run_json_huge nodes jobs out_file =
         ("chunks", Json.Int par_stats.Parmap.chunks);
         ("identical", Json.Bool par_identical) ]
   in
+  (* Priority-cut engine over the same arena: sequential vs
+     [jobs]-parallel enumeration. Parity is a hard exit gate exactly
+     like the structural labeler's; the delay delta vs the dag row is
+     report-only (the cut engine is a pruned heuristic). *)
+  let bdb = Matchdb.boolean db in
+  let (rc, _), cut_wall, cut_cpu =
+    Clock.time_wall_cpu (fun () ->
+        Dagmap_cutmap.Arena_cuts.map ~jobs:1 ~priority:8 ~subject:g bdb arena)
+  in
+  let (rcp, cut_par_stats), cut_par_wall =
+    Clock.time (fun () ->
+        Dagmap_cutmap.Arena_cuts.map ~jobs ~priority:8 ~subject:g bdb arena)
+  in
+  let cut_identical =
+    rcp.Dagmap_cutmap.Cut_mapper.labels = rc.Dagmap_cutmap.Cut_mapper.labels
+    && rcp.Dagmap_cutmap.Cut_mapper.matches_evaluated
+       = rc.Dagmap_cutmap.Cut_mapper.matches_evaluated
+    && Netlist.delay rcp.Dagmap_cutmap.Cut_mapper.netlist
+       = Netlist.delay rc.Dagmap_cutmap.Cut_mapper.netlist
+    && Netlist.area rcp.Dagmap_cutmap.Cut_mapper.netlist
+       = Netlist.area rc.Dagmap_cutmap.Cut_mapper.netlist
+  in
+  let cut_clean =
+    Check.structural rc.Dagmap_cutmap.Cut_mapper.netlist = []
+    && Check.delay
+         ~predicted:
+           (Dagmap_cutmap.Cut_mapper.predicted_arrivals rc)
+         rc.Dagmap_cutmap.Cut_mapper.netlist
+       = []
+  in
+  let cut_delay = Netlist.delay rc.Dagmap_cutmap.Cut_mapper.netlist in
+  Printf.printf
+    "  cut (priority=8): %.1fs seq / %.1fs jobs=%d, delay=%.2f \
+     (dag %.2f), %d matches evaluated, identical=%b check=%s\n%!"
+    cut_wall cut_par_wall jobs cut_delay
+    (Netlist.delay r.Mapper.netlist)
+    rc.Dagmap_cutmap.Cut_mapper.matches_evaluated cut_identical
+    (if cut_clean then "ok" else "FAIL");
+  let cuts =
+    Json.Obj
+      [ ("priority", Json.Int 8);
+        ("jobs", Json.Int jobs);
+        ("delay", Json.Float cut_delay);
+        ("delay_dag", Json.Float (Netlist.delay r.Mapper.netlist));
+        ( "delay_delta_vs_dag",
+          Json.Float (cut_delay -. Netlist.delay r.Mapper.netlist) );
+        ( "matches_evaluated",
+          Json.Int rc.Dagmap_cutmap.Cut_mapper.matches_evaluated );
+        ( "matched_nodes",
+          Json.Int rc.Dagmap_cutmap.Cut_mapper.matched_nodes );
+        ("wall_seconds", Json.Float cut_wall);
+        ("cpu_seconds", Json.Float cut_cpu);
+        ("parallel_wall_seconds", Json.Float cut_par_wall);
+        ( "parallel_levels",
+          Json.Int cut_par_stats.Parmap.parallel_levels );
+        ("chunks", Json.Int cut_par_stats.Parmap.chunks);
+        ("identical", Json.Bool cut_identical);
+        ("check_clean", Json.Bool cut_clean) ]
+  in
   let row =
     bench_row
       ~extra:
@@ -847,6 +962,7 @@ let run_json_huge nodes jobs out_file =
         ("tier", Json.String "huge");
         ("rows", Json.List [ row ]);
         ("parallel", parallel);
+        ("cuts", cuts);
         ("metrics", Metrics.to_json ()) ]
   in
   let path =
@@ -860,7 +976,7 @@ let run_json_huge nodes jobs out_file =
   close_out oc;
   Printf.printf "wrote %s (peak rss %.1f MB)\n" path
     (float_of_int (Resource.peak_rss_bytes ()) /. 1e6);
-  if not (clean && par_identical) then exit 1
+  if not (clean && par_identical && cut_identical && cut_clean) then exit 1
 
 let run_compare_json new_file base_file =
   let load path =
@@ -958,6 +1074,43 @@ let run_compare_json new_file base_file =
         no baseline)\n"
        ls j sp
    | None, _ -> ());
+  (* Cut-mapper section: report-only, like the parallel column — the
+     cut engine is a pruned heuristic whose budget defaults can move
+     between snapshots, so its delay is printed for the reader rather
+     than gated. (Within one snapshot, generation already hard-gates
+     arena/boxed parity.) *)
+  let cut_delays doc =
+    match Json.member "cuts" doc with
+    | None -> []
+    | Some (Json.List rows) ->
+      List.filter_map
+        (fun r ->
+          match
+            ( Option.bind (Json.member "circuit" r) Json.to_string_value,
+              Option.bind (Json.member "delay" r) Json.to_number )
+          with
+          | Some c, Some d -> Some (c, d)
+          | _ -> None)
+        rows
+    | Some obj ->
+      (match Option.bind (Json.member "delay" obj) Json.to_number with
+       | Some d -> [ ("huge", d) ]
+       | None -> [])
+  in
+  (match cut_delays doc_new with
+   | [] -> ()
+   | news ->
+     let bases = cut_delays doc_base in
+     List.iter
+       (fun (c, d) ->
+         match List.assoc_opt c bases with
+         | Some b ->
+           Printf.printf "cut-mapper delay (report-only) %s: %.2f -> %.2f\n" c
+             b d
+         | None ->
+           Printf.printf
+             "cut-mapper delay (report-only) %s: %.2f (no baseline)\n" c d)
+       news);
   if !ratios = [] then failwith "bench compare: no common dag-mode rows";
   let geo =
     exp

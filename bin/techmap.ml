@@ -141,7 +141,12 @@ let print_mapper_stats ~cache_enabled (run : Mapper.stats)
       p.Parmap.level_seconds.(!slowest)
       (Array.fold_left ( +. ) 0.0 p.Parmap.level_seconds)
 
-let run_map circuit lib_spec super_file mode_s opt recover buffer out_file verilog_file show_path verify jobs show_stats no_cache trace_out metrics_json arena stream =
+(* Cut-mode per-node budget the CLI defaults to: on one core the
+   wall-clock cost is linear in the budget, and 8 priority cuts per
+   node is the classic sweet spot (the bench sweeps the trade-off). *)
+let default_cut_priority = 8
+
+let run_map circuit lib_spec super_file mode_s opt recover buffer out_file verilog_file show_path verify jobs priority show_stats no_cache trace_out metrics_json arena stream =
   if trace_out <> None then begin
     Span.reset ();
     Span.set_enabled true
@@ -230,11 +235,27 @@ let run_map circuit lib_spec super_file mode_s opt recover buffer out_file veril
       in
       (Mapper.mode_name m, result.Mapper.netlist, Some (m, result), par)
     | Cut_mode ->
-      if arena then
-        failwith "--arena applies to pattern modes (tree/dag/dag-extended)";
-      let bdb = Dagmap_cutmap.Boolean_match.prepare lib in
-      let r = Dagmap_cutmap.Cut_mapper.map bdb sg in
-      ("cut", r.Dagmap_cutmap.Cut_mapper.netlist, None, None)
+      if jobs > 1 && not arena then
+        failwith
+          "--jobs with --mode cut needs --arena (the boxed cut mapper is \
+           sequential; the arena enumerator parallelizes level slices)";
+      let bdb = Matchdb.boolean db in
+      let r, par =
+        if arena then begin
+          let a = Arena.of_subject sg in
+          Printf.printf "%s\n" (Arena.stats a);
+          let r, par =
+            Dagmap_cutmap.Arena_cuts.map ~jobs ~priority ~subject:sg bdb a
+          in
+          (r, Some par)
+        end
+        else (Dagmap_cutmap.Cut_mapper.map ~priority bdb sg, None)
+      in
+      Printf.printf
+        "cut: %d priority cuts/node, %d nodes matched, %d matches evaluated\n"
+        priority r.Dagmap_cutmap.Cut_mapper.matched_nodes
+        r.Dagmap_cutmap.Cut_mapper.matches_evaluated;
+      ("cut", r.Dagmap_cutmap.Cut_mapper.netlist, None, par)
   in
   let dt = Clock.now () -. t0 in
   (match trace_out with
@@ -270,7 +291,17 @@ let run_map circuit lib_spec super_file mode_s opt recover buffer out_file veril
     match pattern_result with
     | Some (_, result) ->
       print_mapper_stats ~cache_enabled:cache result.Mapper.run par_stats
-    | None -> Printf.printf "stats: only available for pattern modes\n"
+    | None -> begin
+      match par_stats with
+      | Some p ->
+        Printf.printf "stats: %d domains, %d levels (widest %d nodes)\n"
+          p.Parmap.domains p.Parmap.levels p.Parmap.widest_level;
+        Printf.printf
+          "stats: %d levels ran parallel, %d work-steal chunks claimed\n"
+          p.Parmap.parallel_levels p.Parmap.chunks
+      | None ->
+        Printf.printf "stats: sequential cut mapping (no labeler stats)\n"
+    end
   end;
   let nl =
     match recover, pattern_result with
@@ -340,23 +371,36 @@ let run_check circuit lib_spec super_file mode_s jobs no_cache =
     | Some path -> Superlib.augment lib (Superlib.read_file path)
   in
   let db = Matchdb.prepare lib in
-  let mode =
-    match mode_of_string mode_s with
-    | Pattern_mode m -> m
-    | Cut_mode -> failwith "check supports pattern modes only"
-  in
+  let mode = mode_of_string mode_s in
   let jobs = resolve_jobs jobs in
   let cache = not no_cache in
   let sg = Subject.of_network net in
   Printf.printf "circuit %s: %s\n" circuit (Subject.stats sg);
-  let result =
-    if jobs > 1 then fst (Parmap.map ~jobs ~cache mode db sg)
-    else Mapper.map ~cache mode db sg
+  let mode_name, nl, predicted =
+    match mode with
+    | Pattern_mode m ->
+      let result =
+        if jobs > 1 then fst (Parmap.map ~jobs ~cache m db sg)
+        else Mapper.map ~cache m db sg
+      in
+      ( Mapper.mode_name m,
+        result.Mapper.netlist,
+        Mapper.predicted_arrivals result )
+    | Cut_mode ->
+      let bdb = Matchdb.boolean db in
+      let r =
+        if jobs > 1 then
+          fst
+            (Dagmap_cutmap.Arena_cuts.map ~jobs ~priority:default_cut_priority
+               ~subject:sg bdb (Arena.of_subject sg))
+        else Dagmap_cutmap.Cut_mapper.map ~priority:default_cut_priority bdb sg
+      in
+      ( "cut",
+        r.Dagmap_cutmap.Cut_mapper.netlist,
+        Dagmap_cutmap.Cut_mapper.predicted_arrivals r )
   in
-  let nl = result.Mapper.netlist in
-  Printf.printf "%s mapping: delay=%.2f area=%.0f gates=%d\n"
-    (Mapper.mode_name mode) (Netlist.delay nl) (Netlist.area nl)
-    (Netlist.num_gates nl);
+  Printf.printf "%s mapping: delay=%.2f area=%.0f gates=%d\n" mode_name
+    (Netlist.delay nl) (Netlist.area nl) (Netlist.num_gates nl);
   let failed = ref false in
   let section name issues =
     match issues with
@@ -373,8 +417,7 @@ let run_check circuit lib_spec super_file mode_s jobs no_cache =
   section "structural" s;
   if s = [] then begin
     (* Timing and simulation are undefined on a malformed netlist. *)
-    section "delay"
-      (Check.delay ~predicted:(Mapper.predicted_arrivals result) nl);
+    section "delay" (Check.delay ~predicted nl);
     section "functional" (Check.functional sg nl)
   end
   else Printf.printf "delay/functional audits skipped (structural failure)\n";
@@ -557,7 +600,7 @@ let run_compare circuit lib_spec =
   let net = load_circuit circuit in
   let lib = load_library lib_spec in
   let db = Matchdb.prepare lib in
-  let bdb = Dagmap_cutmap.Boolean_match.prepare lib in
+  let bdb = Matchdb.boolean db in
   let sg = Subject.of_network net in
   Printf.printf "circuit %s: %s\n" circuit (Subject.stats sg);
   Printf.printf "library %s: %d gates\n\n" lib.Libraries.lib_name
@@ -581,9 +624,15 @@ let run_compare circuit lib_spec =
         report "dag+recover" recovered (Clock.now () -. t1)
       end)
     [ Mapper.Tree; Mapper.Dag; Mapper.Dag_extended ];
-  let t0 = Clock.now () in
-  let rc = Dagmap_cutmap.Cut_mapper.map bdb sg in
-  report "cut-boolean" rc.Dagmap_cutmap.Cut_mapper.netlist (Clock.now () -. t0)
+  List.iter
+    (fun priority ->
+      let t0 = Clock.now () in
+      let rc = Dagmap_cutmap.Cut_mapper.map ~priority bdb sg in
+      report
+        (Printf.sprintf "cut p=%d" priority)
+        rc.Dagmap_cutmap.Cut_mapper.netlist
+        (Clock.now () -. t0))
+    [ default_cut_priority; 50 ]
 
 (* ------------------------------------------------------------------ *)
 (* libs / circuits listings                                            *)
@@ -838,6 +887,16 @@ let map_cmd =
             "Label with N domains in parallel (0 = one per core). Results \
              are bit-identical to the sequential mapper.")
   in
+  let priority =
+    Arg.(
+      value
+      & opt int default_cut_priority
+      & info [ "priority" ] ~docv:"P"
+          ~doc:
+            "Cut budget for $(b,--mode cut): keep the P best cuts per node \
+             (ranked by realized arrival). Quality converges to the \
+             structural mapper's as P grows; ignored by pattern modes.")
+  in
   let show_stats =
     Arg.(
       value & flag
@@ -904,12 +963,13 @@ let map_cmd =
   let term =
     Term.(
       ret
-        (const (fun c l sf m op r b o vf p v j st nc tr mj ar sr ->
+        (const (fun c l sf m op r b o vf p v j pr st nc tr mj ar sr ->
              wrap (fun () ->
-                 run_map c l sf m op r b o vf p v j st nc tr mj ar sr))
+                 run_map c l sf m op r b o vf p v j pr st nc tr mj ar sr))
         $ circuit_arg $ lib_arg $ super_file $ mode_arg $ opt $ recover
         $ buffer $ out_file $ verilog_file $ show_path $ verify $ jobs
-        $ show_stats $ no_cache $ trace_out $ metrics_json $ arena $ stream))
+        $ priority $ show_stats $ no_cache $ trace_out $ metrics_json $ arena
+        $ stream))
   in
   Cmd.v (Cmd.info "map" ~doc:"Map a circuit onto a gate library.") term
 

@@ -6,16 +6,24 @@ type entry = {
   pin_of_input : int array;
 }
 
+(* Keyed directly on the truth table (nvars + packed words) instead of
+   a formatted hex string: lookup is the cut mapper's innermost
+   operation and the sprintf key allocated on every probe. *)
+module Tbl = Hashtbl.Make (struct
+  type t = Truth.t
+
+  let equal = Truth.equal
+  let hash = Truth.hash
+end)
+
 type t = {
-  table : (string, entry list) Hashtbl.t;  (* truth hex -> entries *)
+  table : entry list Tbl.t;  (* function -> matching wirings *)
   mutable count : int;
+  mutable super_count : int;
 }
 
-let key tt = Printf.sprintf "%d:%s" (Truth.num_vars tt) (Truth.to_hex tt)
-
 let add db tt entry =
-  let k = key tt in
-  let existing = Option.value ~default:[] (Hashtbl.find_opt db.table k) in
+  let existing = Option.value ~default:[] (Tbl.find_opt db.table tt) in
   (* Keep one entry per gate per function; different wirings of the
      same gate to the same function are interchangeable. *)
   if
@@ -25,12 +33,13 @@ let add db tt entry =
            String.equal e.gate.Gate.gate_name entry.gate.Gate.gate_name)
          existing)
   then begin
-    Hashtbl.replace db.table k (entry :: existing);
-    db.count <- db.count + 1
+    Tbl.replace db.table tt (entry :: existing);
+    db.count <- db.count + 1;
+    if Gate.is_super entry.gate then db.super_count <- db.super_count + 1
   end
 
 let prepare ?(max_arity = 6) lib =
-  let db = { table = Hashtbl.create 1024; count = 0 } in
+  let db = { table = Tbl.create 1024; count = 0; super_count = 0 } in
   List.iter
     (fun gate ->
       let p = Gate.num_pins gate in
@@ -47,30 +56,23 @@ let prepare ?(max_arity = 6) lib =
     lib.Libraries.gates;
   db
 
-let lookup db tt =
-  Option.value ~default:[] (Hashtbl.find_opt db.table (key tt))
+let lookup db tt = Option.value ~default:[] (Tbl.find_opt db.table tt)
 
 let num_entries db = db.count
 
+let num_super_entries db = db.super_count
+
 let max_arity db =
-  Hashtbl.fold
-    (fun k _ acc ->
-      match String.index_opt k ':' with
-      | None -> acc
-      | Some i -> max acc (int_of_string (String.sub k 0 i)))
-    db.table 1
+  Tbl.fold (fun tt _ acc -> max acc (Truth.num_vars tt)) db.table 1
 
 let arity_histogram db =
   let counts = Hashtbl.create 8 in
-  Hashtbl.iter
-    (fun k entries ->
-      match String.index_opt k ':' with
-      | None -> ()
-      | Some i ->
-        let arity = int_of_string (String.sub k 0 i) in
-        Hashtbl.replace counts arity
-          (List.length entries
-          + Option.value ~default:0 (Hashtbl.find_opt counts arity)))
+  Tbl.iter
+    (fun tt entries ->
+      let arity = Truth.num_vars tt in
+      Hashtbl.replace counts arity
+        (List.length entries
+        + Option.value ~default:0 (Hashtbl.find_opt counts arity)))
     db.table;
   Hashtbl.fold (fun a c acc -> (a, c) :: acc) counts []
   |> List.sort compare

@@ -2,10 +2,21 @@
 
     The library is preprocessed once: for every gate of bounded
     arity, every input-permutation variant of its function is stored
-    in a hash table keyed by the truth table. A cut then matches by a
-    single lookup — matching is exact on the function, independent of
-    how the subject graph happens to be decomposed (the key
-    robustness advantage over structural matching).
+    in a hash table keyed directly by the truth table. A cut then
+    matches by a single lookup — matching is exact on the function,
+    independent of how the subject graph happens to be decomposed
+    (the key robustness advantage over structural matching).
+
+    Supergates need no special ingestion path: {!Dagmap_super}
+    composes each supergate into an ordinary [Gate.t] whose [func] is
+    the composed truth table and whose pin delays carry the fusion
+    discount, and [Superlib.augment] appends them to the base
+    library's gate list — so [prepare] on an augmented library indexes
+    them exactly like primitive cells, fused delays and all
+    ({!num_super_entries} reports how many made it in). The prepared
+    index is shared with the structural side through
+    {!Matchdb.boolean}: one table per library serves the boxed cut
+    mapper, the arena cut enumerator and every bench/CLI consumer.
 
     Scope: permutation (P) equivalence only. Input negations are not
     absorbed into matches (they would need inverters on the wires);
@@ -31,6 +42,9 @@ val lookup : t -> Truth.t -> entry list
 (** All gates realizing exactly this function of [num_vars] inputs. *)
 
 val num_entries : t -> int
+
+val num_super_entries : t -> int
+(** How many indexed entries are supergate wirings. *)
 
 val arity_histogram : t -> (int * int) list
 (** Indexed functions per arity (for reporting). *)

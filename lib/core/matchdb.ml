@@ -26,6 +26,9 @@ type t = {
   nand_buckets : Pattern.t list array array; (* [cat][cat], cat_a <= cat_b *)
   inv_buckets : Pattern.t list array;
   max_depth : int;  (* deepest pattern, in edges; bounds every cone *)
+  mutable boolean_memo : Boolean_match.t option;
+      (* lazily-built Boolean index over the same library (incl. any
+         supergates), shared by the cut mappers — see [boolean] *)
 }
 
 let cat_index = function Cl -> 0 | Ci -> 1 | Cn -> 2
@@ -50,9 +53,24 @@ let prepare lib =
         let lo, hi = if ia <= ib then (ia, ib) else (ib, ia) in
         nand_buckets.(lo).(hi) <- p :: nand_buckets.(lo).(hi))
     lib.Libraries.patterns;
-  { lib; nand_buckets; inv_buckets; max_depth = !max_depth }
+  { lib; nand_buckets; inv_buckets; max_depth = !max_depth;
+    boolean_memo = None }
 
 let library db = db.lib
+
+(* One Boolean index per prepared library, built on first use: the
+   structural and cut mappers then share a single permutation-variant
+   table instead of each consumer re-running [Boolean_match.prepare].
+   The memo write is a single pointer store; a concurrent race at
+   worst builds the index twice with identical contents (same benign
+   pattern as [Arena.levels_memo]). *)
+let boolean db =
+  match db.boolean_memo with
+  | Some b -> b
+  | None ->
+    let b = Boolean_match.prepare db.lib in
+    db.boolean_memo <- Some b;
+    b
 
 let num_patterns db = List.length db.lib.Libraries.patterns
 

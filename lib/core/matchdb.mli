@@ -27,6 +27,12 @@ val prepare : Libraries.t -> t
 
 val library : t -> Libraries.t
 
+val boolean : t -> Boolean_match.t
+(** The {!Boolean_match} index over the same library (supergates
+    included when the library was augmented), built lazily on first
+    use and memoized — the structural and cut-based mappers share one
+    permutation-variant table per prepared library. *)
+
 val num_patterns : t -> int
 
 val max_depth : t -> int

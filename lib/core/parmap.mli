@@ -44,6 +44,31 @@ val chunk_min : int
     scheduling regression tests can state their bounds in terms of
     the real policy. *)
 
+val fanout_threshold : int -> int
+(** [fanout_threshold jobs = jobs * chunk_min]: below this many nodes
+    a level runs on the calling domain. Exported so other
+    level-synchronous sweeps (the arena cut enumerator) apply the
+    same fall-back policy. *)
+
+val chunk_for : jobs:int -> int -> int
+(** Chunk size for a level of the given width, floored at
+    {!chunk_min}. *)
+
+val steal_chunks :
+  cursor:int Atomic.t ->
+  chunks_claimed:int Atomic.t ->
+  chunk:int ->
+  hi:int ->
+  (int -> unit) ->
+  unit
+(** Claim dense [chunk]-sized slices of positions below [hi] through
+    [cursor] (pre-set by the caller to the first position) and apply
+    the callback to each claimed position — the work-stealing
+    protocol shared by every level-parallel sweep (boxed labeler,
+    arena labeler, arena cut enumerator). Callbacks must not raise;
+    trap exceptions into an [Atomic.t] and re-raise after the
+    barrier, as {!label} does. *)
+
 (** {1 Persistent domain pool}
 
     The pool that backs the level sweep, exported for other

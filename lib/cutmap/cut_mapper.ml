@@ -13,137 +13,157 @@ type result = {
   labels : float array;
   chosen : choice option array;
   matched_nodes : int;
+  matches_evaluated : int;
 }
 
-let choice_arrival labels (c : choice) =
+(* Worst leaf arrival through the entry's gate pins. Starts at
+   [neg_infinity] so negative leaf labels (early external arrivals)
+   are never clamped to zero — the same fix PR 3 applied to
+   [Mapper.match_arrival]; a [ref 0.0] max-fold here silently floored
+   every negative arrival. *)
+let choice_arrival label (c : choice) =
   let gate = c.entry.Boolean_match.gate in
-  let worst = ref 0.0 in
+  let worst = ref neg_infinity in
   Array.iteri
     (fun j leaf ->
       let pin = c.entry.Boolean_match.pin_of_input.(j) in
-      worst := Float.max !worst (labels.(leaf) +. Gate.intrinsic_delay gate pin))
+      worst := Float.max !worst (label leaf +. Gate.intrinsic_delay gate pin))
     c.cut.Cuts.leaves;
-  !worst
+  if !worst = neg_infinity then 0.0 else !worst
 
-let map ?(k = 5) ?(priority = 50) db g =
-  (* Cuts wider than the widest library gate can never match. *)
-  let k = max 2 (min k (Boolean_match.max_arity db)) in
-  let n = Subject.num_nodes g in
-  let levels = Subject.levels g in
-  let labels = Array.make n 0.0 in
-  let chosen : choice option array = Array.make n None in
-  let const_node : bool option array = Array.make n None in
-  let matched = ref 0 in
-  (* Enumeration is interleaved with labeling so priority pruning can
-     rank cuts by what they actually achieve: a matched cut ranks by
-     its realized arrival; an unmatched cut (still useful as a
-     building block for wider parent cuts) ranks by its worst leaf
-     label plus a penalty that sorts it behind matched cuts of
-     similar depth. *)
-  let stored : Cuts.cut list array = Array.make n [] in
-  let unmatched_penalty =
-    (* roughly one gate delay *)
-    1.0
+let unmatched_penalty =
+  (* roughly one gate delay *)
+  1.0
+
+(* The per-node label verdict. *)
+type verdict =
+  | Vconst of bool                (** some cut folded to a constant *)
+  | Vmatched of float * choice    (** best realized arrival + choice *)
+  | Vnone                         (** no cut matched: unmappable *)
+
+(* Evaluate one non-PI node: merge the fanins' stored cut sets
+   through the node's operator, score every merged cut against the
+   Boolean index, keep the [priority] best plus the direct-fanin
+   fallback and the trivial cut, and label from the best over ALL
+   evaluated cuts (search all, not just kept, so the label is as
+   tight as the cut set allows).
+
+   Enumeration is interleaved with labeling so priority pruning can
+   rank cuts by what they actually achieve: a matched cut ranks by
+   its realized arrival; an unmatched cut (still useful as a building
+   block for wider parent cuts) ranks by its worst leaf label plus a
+   penalty that sorts it behind matched cuts of similar depth.
+
+   The whole evaluation is a pure function of the node kind, the
+   fanins' stored cut lists and strictly lower labels — which is what
+   lets {!Arena_cuts} replay it level-parallel on the flat arena with
+   bit-identical results. *)
+let eval_node ~k ~priority ~levels ~label db (kind : Subject.kind) ~stored_of
+    node =
+  let merged, fanins =
+    match kind with
+    | Spi -> invalid_arg "Cut_mapper.eval_node: PI"
+    | Sinv x ->
+      ( Cuts.merged_generic ~k levels
+          (fun fs -> Truth.lognot fs.(0))
+          [ stored_of x ],
+        [ x ] )
+    | Snand (x, y) ->
+      ( Cuts.merged_generic ~k levels
+          (fun fs -> Truth.lognand fs.(0) fs.(1))
+          [ stored_of x; stored_of y ],
+        [ x; y ] )
   in
-  for node = 0 to n - 1 do
-    match Subject.kind g node with
-    | Spi ->
-      labels.(node) <- 0.0;
-      stored.(node) <- [ Cuts.trivial ~levels node ]
-    | Snand _ | Sinv _ ->
-      let merged = Cuts.merged_for_node ~k ~levels g node stored in
-      (* Evaluate every merged cut once; remember its best match. *)
-      let evaluated =
-        List.map
-          (fun (cut : Cuts.cut) ->
-            match Truth.is_const cut.Cuts.func with
-            | Some b -> (cut, `Const b)
-            | None ->
-              let best = ref None in
-              List.iter
-                (fun entry ->
-                  let c = { cut; entry } in
-                  let arrival = choice_arrival labels c in
-                  let area = entry.Boolean_match.gate.Gate.area in
-                  match !best with
-                  | Some (a, ar, _) when arrival > a +. 1e-12 || (arrival > a -. 1e-12 && area >= ar) -> ()
-                  | Some _ | None -> best := Some (arrival, area, c))
-                (Boolean_match.lookup db cut.Cuts.func);
-              (match !best with
-               | Some (arrival, area, c) -> (cut, `Matched (arrival, area, c))
-               | None ->
-                 let worst = ref 0.0 in
-                 Array.iter
-                   (fun l -> worst := Float.max !worst labels.(l))
-                   cut.Cuts.leaves;
-                 (cut, `Unmatched !worst)))
-          merged
-      in
-      let score = function
-        | _, `Const _ -> (neg_infinity, 0)
-        | cut, `Matched (arrival, _, _) -> (arrival, Array.length cut.Cuts.leaves)
-        | cut, `Unmatched worst ->
-          (worst +. unmatched_penalty, Array.length cut.Cuts.leaves)
-      in
-      let sorted =
-        List.sort (fun a b -> compare (score a) (score b)) evaluated
-      in
-      let rec take n = function
-        | [] -> []
-        | _ when n <= 0 -> []
-        | x :: rest -> x :: take (n - 1) rest
-      in
-      let kept = take priority sorted in
-      (* Always retain the direct-fanin fallback cut. *)
-      let fanin_leaves =
-        Array.of_list (List.sort_uniq compare (Subject.fanins g node))
-      in
-      let kept =
-        if
-          List.exists
-            (fun (c, _) ->
-              Array.for_all (fun l -> Array.mem l fanin_leaves) c.Cuts.leaves)
-            kept
-        then kept
-        else
-          kept
-          @ List.filter
-              (fun (c, _) -> c.Cuts.leaves = fanin_leaves)
-              evaluated
-      in
-      stored.(node) <-
-        List.map fst kept @ [ Cuts.trivial ~levels node ];
-      (* Label from the best evaluated entry (search all, not just
-         kept, so the label is as tight as the cut set allows). *)
-      let best = ref None in
-      List.iter
-        (fun e ->
-          match e with
-          | _, `Const b ->
-            const_node.(node) <- Some b;
-            labels.(node) <- 0.0
-          | _, `Matched (arrival, area, c) -> begin
-            match !best with
-            | Some (a, ar, _) when arrival > a +. 1e-12 || (arrival > a -. 1e-12 && area >= ar) -> ()
-            | Some _ | None -> best := Some (arrival, area, c)
-          end
-          | _, `Unmatched _ -> ())
-        evaluated;
-      (match !best, const_node.(node) with
-       | Some (arrival, _, c), None ->
-         chosen.(node) <- Some c;
-         labels.(node) <- arrival;
-         incr matched
-       | _, Some _ -> ()
-       | None, None ->
-         raise
-           (Mapper.Unmappable
-              { node;
-                description =
-                  Printf.sprintf
-                    "no Boolean match for any cut of subject node %d" node }))
-  done;
-  (* Cover construction with free duplication, as in the paper. *)
+  let matches_evaluated = ref 0 in
+  (* Evaluate every merged cut once; remember its best match. *)
+  let evaluated =
+    List.map
+      (fun (cut : Cuts.cut) ->
+        match Truth.is_const cut.Cuts.func with
+        | Some b -> (cut, `Const b)
+        | None ->
+          let best = ref None in
+          List.iter
+            (fun entry ->
+              incr matches_evaluated;
+              let c = { cut; entry } in
+              let arrival = choice_arrival label c in
+              let area = entry.Boolean_match.gate.Gate.area in
+              match !best with
+              | Some (a, ar, _)
+                when arrival > a +. 1e-12
+                     || (arrival > a -. 1e-12 && area >= ar) -> ()
+              | Some _ | None -> best := Some (arrival, area, c))
+            (Boolean_match.lookup db cut.Cuts.func);
+          (match !best with
+           | Some (arrival, area, c) -> (cut, `Matched (arrival, area, c))
+           | None ->
+             (* Same neg_infinity start as [choice_arrival]: the
+                unmatched score must track genuinely negative leaf
+                labels too. *)
+             let worst = ref neg_infinity in
+             Array.iter
+               (fun l -> worst := Float.max !worst (label l))
+               cut.Cuts.leaves;
+             let worst = if !worst = neg_infinity then 0.0 else !worst in
+             (cut, `Unmatched worst)))
+      merged
+  in
+  let score = function
+    | _, `Const _ -> (neg_infinity, 0)
+    | cut, `Matched (arrival, _, _) -> (arrival, Array.length cut.Cuts.leaves)
+    | cut, `Unmatched worst ->
+      (worst +. unmatched_penalty, Array.length cut.Cuts.leaves)
+  in
+  let sorted =
+    List.sort (fun a b -> compare (score a) (score b)) evaluated
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  let kept = take priority sorted in
+  (* One retention rule, shared with [Cuts.keep]: the direct-fanin
+     cut (or its support-shrunk descendant) always survives pruning.
+     The old inline check accepted any subset-of-fanins cut — a lone
+     trivial fanin cut could satisfy it — and never appended the
+     shrunk form, so a pruned node could lose its only matchable
+     cut. *)
+  let kept =
+    Cuts.retain_fallback ~fanins
+      ~leaves_of:(fun ((c : Cuts.cut), _) -> c.Cuts.leaves)
+      ~all:evaluated kept
+  in
+  let stored = List.map fst kept @ [ Cuts.trivial ~levels node ] in
+  let const_v = ref None in
+  let best = ref None in
+  List.iter
+    (fun e ->
+      match e with
+      | _, `Const b -> const_v := Some b
+      | _, `Matched (arrival, area, c) -> begin
+        match !best with
+        | Some (a, ar, _)
+          when arrival > a +. 1e-12 || (arrival > a -. 1e-12 && area >= ar) ->
+          ()
+        | Some _ | None -> best := Some (arrival, area, c)
+      end
+      | _, `Unmatched _ -> ())
+    evaluated;
+  let verdict =
+    match !const_v, !best with
+    | Some b, _ -> Vconst b
+    | None, Some (arrival, _, c) -> Vmatched (arrival, c)
+    | None, None -> Vnone
+  in
+  (stored, verdict, !matches_evaluated)
+
+(* Cover construction with free duplication, as in the paper. Shared
+   with {!Arena_cuts}, which hands in its own [chosen]/[const_node]
+   arrays. *)
+let cover g ~(chosen : choice option array) ~(const_node : bool option array)
+    =
   let needed = Hashtbl.create 64 in
   let queue = Queue.create () in
   let require node =
@@ -196,7 +216,62 @@ let map ?(k = 5) ?(priority = 50) db g =
       g.Subject.outputs
     @ List.map (fun (name, b) -> (name, Netlist.D_const b)) g.Subject.const_outputs
   in
-  { netlist = { Netlist.source = g; instances; outputs };
+  { Netlist.source = g; instances; outputs }
+
+let map ?(k = 5) ?(priority = 50) ?(pi_arrival = fun _ -> 0.0) db g =
+  (* Cuts wider than the widest library gate can never match. *)
+  let k = max 2 (min k (Boolean_match.max_arity db)) in
+  let n = Subject.num_nodes g in
+  let levels = Subject.levels g in
+  let labels = Array.make n 0.0 in
+  let chosen : choice option array = Array.make n None in
+  let const_node : bool option array = Array.make n None in
+  let matched = ref 0 in
+  let matches_evaluated = ref 0 in
+  let stored : Cuts.cut list array = Array.make n [] in
+  let label l = labels.(l) in
+  let stored_of x = stored.(x) in
+  for node = 0 to n - 1 do
+    match Subject.kind g node with
+    | Spi ->
+      labels.(node) <- pi_arrival node;
+      stored.(node) <- [ Cuts.trivial ~levels node ]
+    | (Snand _ | Sinv _) as kind ->
+      let st, verdict, ev =
+        eval_node ~k ~priority ~levels ~label db kind ~stored_of node
+      in
+      stored.(node) <- st;
+      matches_evaluated := !matches_evaluated + ev;
+      (match verdict with
+       | Vconst b ->
+         const_node.(node) <- Some b;
+         labels.(node) <- 0.0
+       | Vmatched (arrival, c) ->
+         chosen.(node) <- Some c;
+         labels.(node) <- arrival;
+         incr matched
+       | Vnone ->
+         raise
+           (Mapper.Unmappable
+              { node;
+                description =
+                  Printf.sprintf
+                    "no Boolean match for any cut of subject node %d" node }))
+  done;
+  { netlist = cover g ~chosen ~const_node;
     labels;
     chosen;
-    matched_nodes = !matched }
+    matched_nodes = !matched;
+    matches_evaluated = !matches_evaluated }
+
+let optimal_delay r =
+  List.fold_left
+    (fun acc o -> Float.max acc r.labels.(o.Subject.out_node))
+    0.0 r.netlist.Netlist.source.Subject.outputs
+
+let predicted_arrivals r =
+  let g = r.netlist.Netlist.source in
+  List.map
+    (fun o -> (o.Subject.out_name, r.labels.(o.Subject.out_node)))
+    g.Subject.outputs
+  @ List.map (fun (name, _) -> (name, 0.0)) g.Subject.const_outputs

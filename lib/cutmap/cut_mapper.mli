@@ -8,7 +8,12 @@
     enumeration plus exact Boolean matching instead of pattern-graph
     matching. Because the cut set is pruned (priority cuts), the
     result is a strong heuristic rather than delay-optimal; the
-    benchmark harness compares both engines. *)
+    benchmark harness compares both engines.
+
+    The per-node evaluation kernel ({!eval_node}) is a pure function
+    of the node kind, the fanins' stored cut lists, and lower-level
+    labels; {!Arena_cuts} replays the same kernel over the flat arena
+    in level order (optionally parallel) with bit-identical results. *)
 
 open Dagmap_subject
 open Dagmap_core
@@ -23,13 +28,67 @@ type result = {
   labels : float array;
   chosen : choice option array;   (** per needed subject node *)
   matched_nodes : int;            (** nodes with a non-fallback match *)
+  matches_evaluated : int;        (** (cut, library entry) pairs scored *)
 }
 
 val map :
-  ?k:int -> ?priority:int -> Boolean_match.t -> Subject.t -> result
+  ?k:int ->
+  ?priority:int ->
+  ?pi_arrival:(int -> float) ->
+  Boolean_match.t ->
+  Subject.t ->
+  result
 (** [map db g] maps [g]; [k] (default 5, clamped to the library's
     widest matchable gate) bounds cut width, [priority] (default 50)
     bounds cuts kept per node — quality converges to the structural
-    mapper's as the budget grows (the harness sweeps this). Raises
-    [Mapper.Unmappable] if some node has no matchable cut (cannot
-    happen when the library contains INV and NAND2). *)
+    mapper's as the budget grows (the harness sweeps this).
+    [pi_arrival] gives each primary input's external arrival time
+    (default 0.0 for all, matching {!Mapper.map}); negative arrivals
+    are honored, not clamped. Raises [Mapper.Unmappable] if some node
+    has no matchable cut (cannot happen when the library contains INV
+    and NAND2). *)
+
+val choice_arrival : (int -> float) -> choice -> float
+(** Realized arrival of a choice under the given leaf-label function:
+    worst leaf label plus the matched gate's pin delay, with correct
+    handling of negative labels. *)
+
+type verdict =
+  | Vconst of bool                (** some cut folded to a constant *)
+  | Vmatched of float * choice    (** best realized arrival + choice *)
+  | Vnone                         (** no cut matched: unmappable *)
+
+val eval_node :
+  k:int ->
+  priority:int ->
+  levels:int array ->
+  label:(int -> float) ->
+  Boolean_match.t ->
+  Subject.kind ->
+  stored_of:(int -> Cuts.cut list) ->
+  int ->
+  Cuts.cut list * verdict * int
+(** Evaluate one non-PI node from its fanins' stored cut lists and
+    labels: returns the cut list to store for the node (priority-kept
+    plus fallback plus trivial), the label verdict, and the number of
+    (cut, entry) pairs scored. Deterministic: depends only on the
+    arguments, never on traversal order — the contract {!Arena_cuts}
+    relies on for bit-identical parallel replay. Raises
+    [Invalid_argument] on a PI kind. *)
+
+val cover :
+  Subject.t ->
+  chosen:choice option array ->
+  const_node:bool option array ->
+  Netlist.t
+(** Backward cover from the outputs with free duplication, using the
+    per-node best choices (and constant verdicts) computed by the
+    labeling pass. Shared by {!map} and {!Arena_cuts.map}. *)
+
+val optimal_delay : result -> float
+(** Worst label over the primary outputs. *)
+
+val predicted_arrivals : result -> (string * float) list
+(** Per-output predicted arrivals in [Check.audit] form: each output
+    name with the label at its driver (0.0 for constant outputs) —
+    the cut-mapper analogue of {!Mapper.predicted_arrivals}. *)

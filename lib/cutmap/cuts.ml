@@ -63,18 +63,37 @@ let shrink leaves func depth_of =
 let cut_depth levels leaves =
   Array.fold_left (fun acc l -> max acc levels.(l)) 0 leaves
 
-(* Priority selection under a caller-supplied rank; the direct-fanin
-   cut is always retained as the mapper's fallback. Note the fanin
-   cut may have been support-shrunk (redundant nodes), in which case
-   the shrunk form is what gets retained. *)
-let keep ~priority ~rank ~fanins merged =
+(* The fallback-retention invariant, stated once for every consumer
+   (the level-synchronous enumerator below, the boxed cut mapper, the
+   arena cut enumerator): after priority pruning, the kept list must
+   still contain the direct-fanin cut — exactly when present, else
+   its support-shrunk descendant (redundant nodes can shrink the
+   fanin cut, and a subset-of-fanins cut that is {e not} derived from
+   the fanin merge, e.g. a lone trivial fanin cut, does not satisfy
+   the invariant). [leaves_of] projects a list element to its cut
+   leaves so mappers can retain (cut, score) pairs without
+   repackaging. *)
+let retain_fallback ~fanins ~leaves_of ~all kept =
   let fanin_leaves = Array.of_list (List.sort_uniq compare fanins) in
-  let is_fanin_derived c =
+  let is_fanin_derived leaves =
     (* the cut obtained from the trivial fanin cuts, possibly shrunk *)
-    Array.for_all (fun l -> Array.mem l fanin_leaves) c.leaves
-    && Array.length c.leaves <= Array.length fanin_leaves
-    && (c.leaves = fanin_leaves || Array.length c.leaves < Array.length fanin_leaves)
+    Array.for_all (fun l -> Array.mem l fanin_leaves) leaves
+    && Array.length leaves <= Array.length fanin_leaves
+    && (leaves = fanin_leaves || Array.length leaves < Array.length fanin_leaves)
   in
+  if List.exists (fun c -> leaves_of c = fanin_leaves) kept then kept
+  else
+    match List.filter (fun c -> leaves_of c = fanin_leaves) all with
+    | [] ->
+      (* the fanin cut shrank; keep its shrunk descendant *)
+      (match List.filter (fun c -> is_fanin_derived (leaves_of c)) all with
+       | [] -> kept
+       | shrunk -> kept @ [ List.hd shrunk ])
+    | fanin_cuts -> kept @ [ List.hd fanin_cuts ]
+
+(* Priority selection under a caller-supplied rank; the direct-fanin
+   cut is always retained as the mapper's fallback. *)
+let keep ~priority ~rank ~fanins merged =
   let sorted =
     List.sort (fun a b -> compare (rank a) (rank b)) merged
   in
@@ -84,15 +103,7 @@ let keep ~priority ~rank ~fanins merged =
     | c :: rest -> c :: take (n - 1) rest
   in
   let kept = take priority sorted in
-  if List.exists (fun c -> c.leaves = fanin_leaves) kept then kept
-  else
-    match List.filter (fun c -> c.leaves = fanin_leaves) merged with
-    | [] ->
-      (* the fanin cut shrank; keep its shrunk descendant *)
-      (match List.filter is_fanin_derived merged with
-       | [] -> kept
-       | shrunk -> kept @ [ List.hd shrunk ])
-    | fanin_cuts -> kept @ [ List.hd fanin_cuts ]
+  retain_fallback ~fanins ~leaves_of:(fun c -> c.leaves) ~all:merged kept
 
 let select ~priority ~fanins merged =
   keep ~priority

@@ -39,6 +39,19 @@ val merged_for_node :
     the building block mappers use to interleave enumeration with
     labeling so they can prune by arrival rather than by level. *)
 
+val merged_generic :
+  k:int ->
+  int array ->
+  (Truth.t array -> Truth.t) ->
+  cut list list ->
+  cut list
+(** [merged_generic ~k levels combine fanin_cuts] is
+    {!merged_for_node} without the boxed subject: merge one or two
+    fanins' cut lists through the node operator [combine]. The result
+    order is a deterministic function of the input lists alone, which
+    is what lets the arena enumerator reproduce the boxed mapper's
+    cut sets bit-for-bit. *)
+
 val keep :
   priority:int ->
   rank:(cut -> float * int) ->
@@ -46,7 +59,22 @@ val keep :
   cut list ->
   cut list
 (** Keep the [priority] best cuts by the given rank (ascending),
-    always retaining the direct-fanin cut as the fallback. *)
+    always retaining the direct-fanin cut via {!retain_fallback}. *)
+
+val retain_fallback :
+  fanins:int list ->
+  leaves_of:('a -> int array) ->
+  all:'a list ->
+  'a list ->
+  'a list
+(** [retain_fallback ~fanins ~leaves_of ~all kept] enforces the
+    fallback invariant every cut-set consumer relies on: if [kept]
+    lacks the direct-fanin cut (leaves = the sorted distinct fanins),
+    append it from [all] — or, when support shrinking ate it, its
+    shrunk descendant (a strict subset of the fanin leaves). A mere
+    subset-of-fanins cut in [kept] (e.g. a single trivial fanin cut)
+    does {e not} satisfy the invariant. Shared by {!keep} and the
+    boxed/arena cut mappers so the retention rule cannot drift. *)
 
 val cut_cone : Subject.t -> int -> cut -> int list
 (** Subject nodes strictly inside the cut (between leaves and root,

@@ -218,6 +218,15 @@ let project a kept =
   done;
   !result
 
+let to_bits a =
+  if a.nvars > 6 then invalid_arg "Truth.to_bits: more than 6 variables";
+  a.words.(0)
+
+let of_bits n bits =
+  check_nvars n;
+  if n > 6 then invalid_arg "Truth.of_bits: more than 6 variables";
+  normalize { nvars = n; words = [| bits |] }
+
 let to_hex a =
   let buf = Buffer.create (Array.length a.words * 16) in
   for j = Array.length a.words - 1 downto 0 do

@@ -84,4 +84,15 @@ val of_minterms : int -> int list -> t
 val to_hex : t -> string
 (** Hexadecimal dump, most significant word first. *)
 
+val to_bits : t -> int64
+(** The packed table of a function of at most 6 variables — the whole
+    table fits one word, so flat stores (the arena cut buffers) can
+    keep functions off-heap. Bits above [2^nvars] are zero.
+    @raise Invalid_argument past 6 variables. *)
+
+val of_bits : int -> int64 -> t
+(** [of_bits n bits] rebuilds an [n]-variable function ([n <= 6]) from
+    its packed table; inverse of {!to_bits} (stray high bits are
+    masked off, so [equal (of_bits n (to_bits t)) t] always holds). *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,269 @@
+(* Arena priority-cut mapping: three-way parity with the boxed cut
+   mapper (boxed / arena sequential / arena parallel), full lib/check
+   audits over the mode x k x priority x library matrix (supergates
+   included), and never-worse-than-tree quality. *)
+
+open Dagmap_logic
+open Dagmap_genlib
+open Dagmap_subject
+open Dagmap_core
+open Dagmap_circuits
+open Dagmap_cutmap
+open Dagmap_check
+open Dagmap_super
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let huge_enabled () =
+  match Sys.getenv_opt "DAGMAP_HUGE" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+let small_circuits () =
+  [ ("adder6", Subject.of_network (Generators.ripple_adder 6));
+    ("cla12", Subject.of_network (Generators.carry_lookahead_adder 12));
+    ("rand", Subject.of_network
+       (Generators.random_dag ~seed:77 ~inputs:8 ~outputs:4 ~nodes:60 ())) ]
+
+(* Wide enough that jobs=4 actually fans levels across the pool. *)
+let wide_circuit () =
+  Subject.of_network
+    (Generators.random_dag ~seed:5 ~inputs:120 ~outputs:30 ~nodes:3000 ())
+
+let super_lib =
+  lazy
+    (let base = Libraries.lib44_1_like () in
+     let sgl, _ =
+       Superlib.make
+         ~bounds:{ Superenum.default_bounds with max_pins = 4; max_size = 3 }
+         base
+     in
+     Superlib.augment base sgl)
+
+(* ------------------------------------------------------------------ *)
+(* Bit-identity helpers                                                *)
+(* ------------------------------------------------------------------ *)
+
+let same_choice c1 c2 =
+  match c1, c2 with
+  | None, None -> true
+  | Some c1, Some c2 ->
+    c1.Cut_mapper.cut.Cuts.leaves = c2.Cut_mapper.cut.Cuts.leaves
+    && Truth.equal c1.Cut_mapper.cut.Cuts.func c2.Cut_mapper.cut.Cuts.func
+    && c1.Cut_mapper.entry.Boolean_match.gate.Gate.gate_name
+       = c2.Cut_mapper.entry.Boolean_match.gate.Gate.gate_name
+    && c1.Cut_mapper.entry.Boolean_match.pin_of_input
+       = c2.Cut_mapper.entry.Boolean_match.pin_of_input
+  | _ -> false
+
+let check_same_result name (r1 : Cut_mapper.result) (r2 : Cut_mapper.result) =
+  check tbool (name ^ ": labels bit-identical") true
+    (r1.Cut_mapper.labels = r2.Cut_mapper.labels);
+  check tint (name ^ ": matched nodes") r1.Cut_mapper.matched_nodes
+    r2.Cut_mapper.matched_nodes;
+  check tint (name ^ ": matches evaluated") r1.Cut_mapper.matches_evaluated
+    r2.Cut_mapper.matches_evaluated;
+  check tbool (name ^ ": choices identical") true
+    (Array.length r1.Cut_mapper.chosen = Array.length r2.Cut_mapper.chosen
+    && Array.for_all2 same_choice r1.Cut_mapper.chosen r2.Cut_mapper.chosen);
+  check (Alcotest.float 0.0) (name ^ ": delay")
+    (Netlist.delay r1.Cut_mapper.netlist)
+    (Netlist.delay r2.Cut_mapper.netlist);
+  check (Alcotest.float 0.0) (name ^ ": area")
+    (Netlist.area r1.Cut_mapper.netlist)
+    (Netlist.area r2.Cut_mapper.netlist);
+  check tint (name ^ ": gates")
+    (Netlist.num_gates r1.Cut_mapper.netlist)
+    (Netlist.num_gates r2.Cut_mapper.netlist)
+
+(* ------------------------------------------------------------------ *)
+(* Parity                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parity_configs = [ (4, 3); (5, 8); (6, 50) ]
+
+let test_three_way_parity () =
+  List.iter
+    (fun lib ->
+      let db = Boolean_match.prepare lib in
+      List.iter
+        (fun (name, g) ->
+          let a = Arena.of_subject g in
+          List.iter
+            (fun (k, priority) ->
+              let tag =
+                Printf.sprintf "%s/%s k=%d p=%d" name lib.Libraries.lib_name k
+                  priority
+              in
+              let boxed = Cut_mapper.map ~k ~priority db g in
+              let seq, _ =
+                Arena_cuts.map ~jobs:1 ~k ~priority ~subject:g db a
+              in
+              let par, stats =
+                Arena_cuts.map ~jobs:4 ~k ~priority ~subject:g db a
+              in
+              check_same_result (tag ^ " boxed=arena") boxed seq;
+              check_same_result (tag ^ " seq=par") seq par;
+              check tbool (tag ^ " level timings recorded") true
+                (Array.length stats.Parmap.level_seconds = stats.Parmap.levels))
+            parity_configs)
+        (small_circuits ()))
+    [ Libraries.minimal (); Libraries.lib2_like () ]
+
+let test_parallel_parity_wide () =
+  let g = wide_circuit () in
+  let a = Arena.of_subject g in
+  let db = Boolean_match.prepare (Libraries.lib2_like ()) in
+  let seq, sstats = Arena_cuts.map ~jobs:1 ~k:4 ~priority:6 ~subject:g db a in
+  let par, pstats = Arena_cuts.map ~jobs:4 ~k:4 ~priority:6 ~subject:g db a in
+  (* The wide circuit must actually exercise the work-stealing path,
+     otherwise this test proves nothing about parallel determinism. *)
+  check tbool "some levels fanned out" true (pstats.Parmap.parallel_levels > 0);
+  check tbool "chunks claimed" true (pstats.Parmap.chunks > 0);
+  check tint "sequential run stays on caller" 0 sstats.Parmap.parallel_levels;
+  check_same_result "wide seq=par" seq par;
+  let boxed = Cut_mapper.map ~k:4 ~priority:6 db g in
+  check_same_result "wide boxed=par" boxed par
+
+let test_arena_without_subject () =
+  (* Covering through Arena.to_subject must agree with covering
+     through the original boxed subject. *)
+  let _, g = List.hd (small_circuits ()) in
+  let a = Arena.of_subject g in
+  let db = Boolean_match.prepare (Libraries.minimal ()) in
+  let with_subject, _ = Arena_cuts.map ~subject:g db a in
+  let without, _ = Arena_cuts.map db a in
+  check_same_result "to_subject cover" with_subject without
+
+let test_pi_arrival_parity () =
+  let _, g = List.nth (small_circuits ()) 1 in
+  let a = Arena.of_subject g in
+  let db = Boolean_match.prepare (Libraries.lib2_like ()) in
+  let pi_arrival node = if node mod 2 = 0 then -3.0 else 1.5 in
+  let boxed = Cut_mapper.map ~priority:8 ~pi_arrival db g in
+  let par, _ = Arena_cuts.map ~jobs:4 ~priority:8 ~pi_arrival ~subject:g db a in
+  check_same_result "pi_arrival boxed=par" boxed par
+
+(* ------------------------------------------------------------------ *)
+(* Audit matrix                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let audit_clean tag g (r : Cut_mapper.result) =
+  match
+    Check.audit ~rounds:4 g
+      ~predicted:(Cut_mapper.predicted_arrivals r)
+      r.Cut_mapper.netlist
+  with
+  | [] -> ()
+  | issues ->
+    Alcotest.failf "%s: %d audit issues, first: %s" tag (List.length issues)
+      (Format.asprintf "%a" Check.pp_issue (List.hd issues))
+
+let test_audit_matrix () =
+  let libs =
+    [ Libraries.minimal (); Libraries.lib2_like (); Libraries.lib44_1_like ();
+      Lazy.force super_lib ]
+  in
+  List.iter
+    (fun lib ->
+      let db = Boolean_match.prepare lib in
+      List.iter
+        (fun (name, g) ->
+          let a = Arena.of_subject g in
+          List.iter
+            (fun (k, priority) ->
+              let tag =
+                Printf.sprintf "%s/%s k=%d p=%d" name lib.Libraries.lib_name k
+                  priority
+              in
+              audit_clean (tag ^ " boxed") g (Cut_mapper.map ~k ~priority db g);
+              let par, _ =
+                Arena_cuts.map ~jobs:2 ~k ~priority ~subject:g db a
+              in
+              audit_clean (tag ^ " arena") g par)
+            [ (4, 3); (5, 8) ])
+        (small_circuits ()))
+    libs
+
+let test_supergates_help_or_tie () =
+  (* The augmented index contains every base entry, so with an ample
+     budget supergates can only improve (or tie) the mapped delay. *)
+  let base = Libraries.lib44_1_like () in
+  let aug = Lazy.force super_lib in
+  let bdb = Boolean_match.prepare base in
+  let adb = Boolean_match.prepare aug in
+  check tbool "augmented index has supergate entries" true
+    (Boolean_match.num_super_entries adb > 0);
+  check tint "base index has none" 0 (Boolean_match.num_super_entries bdb);
+  List.iter
+    (fun (name, g) ->
+      let db_d = Netlist.delay (Cut_mapper.map ~priority:200 bdb g).Cut_mapper.netlist in
+      let da = Netlist.delay (Cut_mapper.map ~priority:200 adb g).Cut_mapper.netlist in
+      check tbool
+        (Printf.sprintf "%s: super (%.2f) <= base (%.2f)" name da db_d)
+        true
+        (da <= db_d +. 1e-6))
+    (small_circuits ())
+
+(* ------------------------------------------------------------------ *)
+(* Quality: never worse than tree mode                                 *)
+(* ------------------------------------------------------------------ *)
+
+let qc_never_worse_than_tree =
+  QCheck.Test.make ~count:10 ~name:"cut mapping never worse than tree mode"
+    QCheck.(make Gen.(int_bound 10_000))
+    (fun seed ->
+      let net = Generators.random_dag ~seed ~inputs:8 ~outputs:4 ~nodes:60 () in
+      let g = Subject.of_network net in
+      let lib = Libraries.lib2_like () in
+      let pdb = Matchdb.prepare lib in
+      let bdb = Matchdb.boolean pdb in
+      (* Unpruned enumeration: Boolean matching sees every realization
+         tree matching can pick, so the DP label can only be tighter. *)
+      let dc =
+        Netlist.delay (Cut_mapper.map ~priority:100_000 bdb g).Cut_mapper.netlist
+      in
+      let dt = Netlist.delay (Mapper.map Mapper.Tree pdb g).Mapper.netlist in
+      dc <= dt +. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Huge tier (gated)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_million_node_soc () =
+  if not (huge_enabled ()) then
+    Printf.printf
+      "[test_arena_cuts] 1M SoC skipped (set DAGMAP_HUGE=1 to run)\n%!"
+  else begin
+    let net = Generators.synthetic_soc ~seed:7 ~nodes:1_000_000 () in
+    let a = Arena.of_network net in
+    check tbool "1M+ nodes" true (Arena.num_nodes a >= 1_000_000);
+    let g = Arena.to_subject a in
+    let db = Boolean_match.prepare (Libraries.lib2_like ()) in
+    let seq, _ = Arena_cuts.map ~jobs:1 ~k:4 ~priority:8 ~subject:g db a in
+    let par, stats = Arena_cuts.map ~jobs:4 ~k:4 ~priority:8 ~subject:g db a in
+    check tbool "1M parallel levels" true (stats.Parmap.parallel_levels > 0);
+    check_same_result "1M seq=par" seq par;
+    audit_clean "1M soc" g par
+  end
+
+let () =
+  Alcotest.run "arena_cuts"
+    [ ( "parity",
+        [ Alcotest.test_case "three-way matrix" `Quick test_three_way_parity;
+          Alcotest.test_case "wide parallel" `Quick test_parallel_parity_wide;
+          Alcotest.test_case "cover via to_subject" `Quick
+            test_arena_without_subject;
+          Alcotest.test_case "external arrivals" `Quick test_pi_arrival_parity ] );
+      ( "audit",
+        [ Alcotest.test_case "mode x k x priority x library" `Quick
+            test_audit_matrix;
+          Alcotest.test_case "supergates help or tie" `Quick
+            test_supergates_help_or_tie ] );
+      ( "quality",
+        [ QCheck_alcotest.to_alcotest qc_never_worse_than_tree ] );
+      ( "huge",
+        [ Alcotest.test_case "1M-node SoC (DAGMAP_HUGE)" `Slow
+            test_million_node_soc ] ) ]

@@ -216,6 +216,87 @@ let test_matched_nodes_counted () =
   let r = Cut_mapper.map db g in
   check tbool "matched nodes positive" true (r.Cut_mapper.matched_nodes > 0)
 
+(* --- arrival-time handling ------------------------------------------- *)
+
+let test_negative_pi_arrivals () =
+  (* Regression: choice_arrival and the unmatched-cut scorer used to
+     fold with [ref 0.0], silently clamping negative leaf labels; and
+     [map] hard-coded PI labels to 0.0. A uniform early arrival must
+     shift every label through the whole DP. *)
+  let b = Subject.Builder.create () in
+  let x = Subject.Builder.pi b "x" in
+  let y = Subject.Builder.pi b "y" in
+  let n = Subject.Builder.nand b x y in
+  Subject.Builder.output b "o" n;
+  let g = Subject.Builder.finish b in
+  let db = Boolean_match.prepare (Libraries.minimal ()) in
+  let base = Cut_mapper.map db g in
+  let r = Cut_mapper.map ~pi_arrival:(fun _ -> -100.0) db g in
+  check (Alcotest.float 1e-9) "shifted by the early arrival"
+    (base.Cut_mapper.labels.(n) -. 100.0)
+    r.Cut_mapper.labels.(n);
+  check tbool "label goes negative, not clamped" true
+    (r.Cut_mapper.labels.(n) < 0.0)
+
+let test_pi_arrival_uniform_shift () =
+  let _, g = List.hd (small_graphs ()) in
+  let db = Boolean_match.prepare (Libraries.lib2_like ()) in
+  let base = Cut_mapper.map db g in
+  let shifted = Cut_mapper.map ~pi_arrival:(fun _ -> -2.0) db g in
+  List.iter
+    (fun o ->
+      check (Alcotest.float 1e-9) ("output " ^ o.Subject.out_name)
+        (base.Cut_mapper.labels.(o.Subject.out_node) -. 2.0)
+        shifted.Cut_mapper.labels.(o.Subject.out_node))
+    g.Subject.outputs
+
+(* --- fallback retention ---------------------------------------------- *)
+
+let test_retain_fallback_exact () =
+  (* A mere subset-of-fanins cut in [kept] (here a single trivial
+     fanin cut) must not satisfy the invariant: the exact direct-fanin
+     cut is appended from [all]. The old inline check in the mapper
+     accepted the subset and dropped the fanin cut. *)
+  let all = [ [| 1; 2 |]; [| 1 |]; [| 2 |] ] in
+  let kept = [ [| 1 |] ] in
+  let r = Cuts.retain_fallback ~fanins:[ 2; 1 ] ~leaves_of:Fun.id ~all kept in
+  check tbool "exact fanin cut appended" true (List.mem [| 1; 2 |] r)
+
+let test_retain_fallback_shrunk () =
+  (* The exact fanin cut {1,2} shrank out of [all]: its support-shrunk
+     descendant (a strict subset of the fanin leaves) is retained
+     instead — the path the mapper's old inline fallback missed. *)
+  let all = [ [| 3; 4 |]; [| 1 |] ] in
+  let kept = [ [| 3; 4 |] ] in
+  let r = Cuts.retain_fallback ~fanins:[ 1; 2 ] ~leaves_of:Fun.id ~all kept in
+  check tbool "shrunk descendant appended" true (List.mem [| 1 |] r);
+  check tint "exactly one appended" (List.length kept + 1) (List.length r)
+
+let test_retain_fallback_present () =
+  let all = [ [| 1; 2 |]; [| 1 |] ] in
+  let kept = [ [| 1; 2 |] ] in
+  check tbool "unchanged when the fanin cut is kept" true
+    (Cuts.retain_fallback ~fanins:[ 1; 2 ] ~leaves_of:Fun.id ~all kept == kept)
+
+(* --- index sharing and work accounting ------------------------------- *)
+
+let test_matchdb_boolean_shared () =
+  let pdb = Matchdb.prepare (Libraries.lib2_like ()) in
+  let b1 = Matchdb.boolean pdb in
+  let b2 = Matchdb.boolean pdb in
+  check tbool "one Boolean index per prepared library" true (b1 == b2);
+  check tbool "usable" true (Boolean_match.num_entries b1 > 0)
+
+let test_matches_evaluated_counted () =
+  let _, g = List.hd (small_graphs ()) in
+  let db = Boolean_match.prepare (Libraries.lib2_like ()) in
+  let pruned = Cut_mapper.map ~priority:4 db g in
+  let full = Cut_mapper.map ~priority:100_000 db g in
+  check tbool "evaluations counted" true
+    (pruned.Cut_mapper.matches_evaluated > 0);
+  check tbool "priority pruning reduces matcher work" true
+    (pruned.Cut_mapper.matches_evaluated < full.Cut_mapper.matches_evaluated)
+
 let qc_cut_mapping_equivalence =
   QCheck.Test.make ~count:15 ~name:"random circuit cut-mapping equivalence"
     QCheck.(make Gen.(int_bound 10_000))
@@ -269,6 +350,22 @@ let () =
           Alcotest.test_case "converges to structural" `Quick
             test_quality_converges_to_structural;
           Alcotest.test_case "matched count" `Quick test_matched_nodes_counted ] );
+      ( "arrivals",
+        [ Alcotest.test_case "negative PI arrivals" `Quick
+            test_negative_pi_arrivals;
+          Alcotest.test_case "uniform shift" `Quick
+            test_pi_arrival_uniform_shift ] );
+      ( "fallback retention",
+        [ Alcotest.test_case "exact fanin cut" `Quick test_retain_fallback_exact;
+          Alcotest.test_case "shrunk descendant" `Quick
+            test_retain_fallback_shrunk;
+          Alcotest.test_case "present untouched" `Quick
+            test_retain_fallback_present ] );
+      ( "index",
+        [ Alcotest.test_case "matchdb shares one index" `Quick
+            test_matchdb_boolean_shared;
+          Alcotest.test_case "matches evaluated" `Quick
+            test_matches_evaluated_counted ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest qc_cut_mapping_equivalence;
           QCheck_alcotest.to_alcotest qc_cuts_valid_in_circuit ] ) ]
